@@ -1,0 +1,124 @@
+// Command chopper runs the offline CHOPPER pipeline for a built-in workload:
+// profile it with lightweight test runs, fit the per-stage cost models,
+// compute the globally optimized partition scheme (Algorithm 3), and write
+// the workload configuration file the scheduler consumes.
+//
+// Usage:
+//
+//	chopper -workload kmeans [-out kmeans.conf] [-db stats.json]
+//	        [-shrink 6] [-compare] [-alg 2|3] [-gamma 1.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chopper"
+	"chopper/internal/config"
+	"chopper/internal/core"
+)
+
+func main() {
+	workload := flag.String("workload", "kmeans", "built-in workload: kmeans, pca or sql")
+	out := flag.String("out", "", "path to write the configuration file (default <workload>.conf)")
+	dbPath := flag.String("db", "", "optional path to persist/reuse the workload database (JSON)")
+	shrink := flag.Int("shrink", 6, "physical dataset shrink factor")
+	compare := flag.Bool("compare", false, "after training, run vanilla vs tuned and report times")
+	alg := flag.Int("alg", 3, "optimizer: 2 = per-stage (Algorithm 2), 3 = global (Algorithm 3)")
+	gamma := flag.Float64("gamma", 1.5, "repartition benefit factor")
+	explain := flag.Bool("explain", false, "print the per-stage optimization report")
+	flag.Parse()
+
+	if err := run(*workload, *out, *dbPath, *shrink, *compare, *alg, *gamma, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "chopper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, out, dbPath string, shrink int, compare bool, alg int, gamma float64, explain bool) error {
+	app, err := chopper.Builtin(workload)
+	if err != nil {
+		return err
+	}
+	app.Shrink(shrink)
+
+	tuner := chopper.NewTuner()
+	if dbPath != "" {
+		if db, err := core.LoadDB(dbPath); err == nil {
+			tuner.DB = db
+			fmt.Printf("loaded %d samples from %s\n", db.SampleCount(workload), dbPath)
+		}
+	}
+
+	if tuner.DB.SampleCount(workload) == 0 {
+		fmt.Printf("profiling %s (%d test runs)...\n", workload,
+			1+len(tuner.Plan.SizeFractions)*len(tuner.Plan.Partitions)*2)
+		if err := tuner.Profile(app); err != nil {
+			return err
+		}
+	}
+	if dbPath != "" {
+		if err := tuner.DB.Save(dbPath); err != nil {
+			return err
+		}
+		fmt.Printf("database saved to %s\n", dbPath)
+	}
+
+	o := core.NewOptimizer(tuner.DB)
+	o.Gamma = gamma
+	var cf *chopper.ConfigFile
+	if alg == 2 {
+		schemes, err := o.GetWorkloadPar(workload, float64(app.InputBytes()))
+		if err != nil {
+			return err
+		}
+		cf = &config.File{Workload: workload}
+		for _, s := range schemes {
+			cf.Set(config.Entry{
+				Signature:         s.Signature,
+				Scheme:            s.Partitioner,
+				NumPartitions:     s.NumPartitions,
+				InsertRepartition: s.InsertRepartition,
+			})
+		}
+	} else {
+		cf, err = o.GenerateConfig(workload, float64(app.InputBytes()))
+		if err != nil {
+			return err
+		}
+	}
+
+	if explain {
+		ex, err := o.Explain(workload, float64(app.InputBytes()))
+		if err != nil {
+			return err
+		}
+		fmt.Print(ex)
+	}
+
+	if out == "" {
+		out = workload + ".conf"
+	}
+	if err := config.Save(out, cf); err != nil {
+		return err
+	}
+	fmt.Printf("configuration (%d stages) written to %s:\n", len(cf.Entries), out)
+	if err := cf.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	if compare {
+		vanilla := chopper.NewSession()
+		if err := app.Run(vanilla, app.InputBytes()); err != nil {
+			return err
+		}
+		tuned := chopper.NewSession(chopper.WithDynamicTuning(out))
+		if err := app.Run(tuned, app.InputBytes()); err != nil {
+			return err
+		}
+		v, t := vanilla.Elapsed(), tuned.Elapsed()
+		fmt.Printf("vanilla %.1f s, chopper %.1f s (%.1f%% improvement)\n", v, t, (v-t)/v*100)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	experiments [-quick] [-only fig7,fig8,...] [-list]
+//
+// Experiment ids: tab1, fig2, fig3, fig4, fig6, fig7, fig8, tab2, tab3,
+// fig9, fig10, fig11, fig12, fig13, fig14, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chopper/internal/experiments"
+)
+
+var ids = []string{
+	"tab1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "tab2", "tab3",
+	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablations", "failure", "accuracy", "retrain", "sensitivity",
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink physical datasets and profiling grids for a fast pass")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(ids, "\n"))
+		return
+	}
+	want := map[string]bool{}
+	if *only == "" {
+		for _, id := range ids {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	if err := run(want, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(want map[string]bool, quick bool) error {
+	if want["tab1"] {
+		fmt.Println(experiments.TableI())
+	}
+
+	if want["fig2"] || want["fig3"] || want["fig4"] {
+		m, err := experiments.RunMotivation(quick, nil)
+		if err != nil {
+			return err
+		}
+		if want["fig2"] {
+			fmt.Println(m.Fig2())
+		}
+		if want["fig3"] {
+			fmt.Println(m.Fig3())
+		}
+		if want["fig4"] {
+			fmt.Println(m.Fig4())
+			if t, err := m.ExtremePartitions(quick); err == nil {
+				fmt.Println(t)
+			} else {
+				return err
+			}
+		}
+	}
+
+	needEval := false
+	for _, id := range []string{"fig6", "fig7", "fig8", "tab2", "tab3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"} {
+		if want[id] {
+			needEval = true
+		}
+	}
+	if needEval {
+		ev, err := experiments.RunEvaluation(quick)
+		if err != nil {
+			return err
+		}
+		if want["fig6"] {
+			fmt.Println("== Fig. 6 — generated KMeans configuration ==")
+			fmt.Println(ev.Fig6())
+		}
+		if want["fig7"] {
+			fmt.Println(ev.Fig7())
+		}
+		if want["fig8"] {
+			fmt.Println(ev.Fig8())
+		}
+		if want["tab2"] {
+			fmt.Println(ev.TableII())
+		}
+		if want["tab3"] {
+			fmt.Println(ev.TableIII())
+		}
+		if want["fig9"] {
+			fmt.Println(ev.Fig9())
+		}
+		if want["fig10"] {
+			fmt.Println(ev.Fig10())
+		}
+		if want["fig11"] {
+			fmt.Println(ev.Fig11().Table())
+		}
+		if want["fig12"] {
+			fmt.Println(ev.Fig12().Table())
+		}
+		if want["fig13"] {
+			fmt.Println(ev.Fig13().Table())
+		}
+		if want["fig14"] {
+			fmt.Println(ev.Fig14().Table())
+		}
+	}
+
+	if want["ablations"] {
+		tables, err := experiments.RunAblations(quick)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+	}
+
+	if want["failure"] {
+		_, tbl, err := experiments.RunFailureStudy(quick, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+	}
+
+	if want["accuracy"] {
+		tbl, _, err := experiments.ModelAccuracy(quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+	}
+
+	if want["retrain"] {
+		tbl, err := experiments.OnlineRetraining(quick, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+	}
+
+	if want["sensitivity"] {
+		tbl, err := experiments.SensitivityStudy(quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+	}
+	return nil
+}

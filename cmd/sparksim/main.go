@@ -1,0 +1,115 @@
+// Command sparksim runs a built-in workload on the simulated cluster with
+// explicit knobs — the "vanilla Spark" experience, useful for manual sweeps
+// like the paper's Section II-B study.
+//
+// Usage:
+//
+//	sparksim -workload kmeans [-partitions 300] [-partitioner hash]
+//	         [-gb 21.8] [-shrink 6] [-config file.conf] [-stages] [-util]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chopper"
+	"chopper/internal/core"
+	"chopper/internal/dag"
+	"chopper/internal/rdd"
+)
+
+func main() {
+	workload := flag.String("workload", "kmeans", "built-in workload: kmeans, pca or sql")
+	partitions := flag.Int("partitions", 0, "force a uniform partition count (0 = default parallelism)")
+	partitioner := flag.String("partitioner", "hash", "uniform partitioner when -partitions is set: hash or range")
+	gb := flag.Float64("gb", 0, "logical input size in GB (0 = the paper's Table I size)")
+	shrink := flag.Int("shrink", 6, "physical dataset shrink factor")
+	cfgPath := flag.String("config", "", "CHOPPER configuration file to apply (enables tuned mode)")
+	stages := flag.Bool("stages", true, "print the per-stage breakdown")
+	util := flag.Bool("util", false, "print utilization timelines (CPU %, packets/s)")
+	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the stage timeline")
+	tracePath := flag.String("trace", "", "write a JSON event log of the run to this path")
+	clusterPath := flag.String("cluster", "", "JSON topology file (default: the paper's 6-node cluster)")
+	flag.Parse()
+
+	if err := run(*workload, *partitions, *partitioner, *gb, *shrink, *cfgPath, *stages, *util, *gantt, *tracePath, *clusterPath); err != nil {
+		fmt.Fprintln(os.Stderr, "sparksim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, partitions int, partitioner string, gb float64, shrink int, cfgPath string, stages, util, gantt bool, tracePath, clusterPath string) error {
+	app, err := chopper.Builtin(workload)
+	if err != nil {
+		return err
+	}
+	app.Shrink(shrink)
+	if gb > 0 {
+		app.SetInputBytes(int64(gb * 1e9))
+	}
+
+	var opts []chopper.Option
+	if clusterPath != "" {
+		topo, err := chopper.LoadTopology(clusterPath)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, chopper.WithTopology(topo))
+	}
+	switch {
+	case cfgPath != "":
+		opts = append(opts, chopper.WithDynamicTuning(cfgPath))
+	case partitions > 0:
+		scheme := rdd.SchemeName(partitioner)
+		if !rdd.ValidScheme(scheme) {
+			return fmt.Errorf("unknown partitioner %q", partitioner)
+		}
+		opts = append(opts, withForceAll(scheme, partitions))
+	}
+	sess := chopper.NewSession(opts...)
+	if err := app.Run(sess, app.InputBytes()); err != nil {
+		return err
+	}
+
+	fmt.Printf("%s @ %.1f GB: %.1f s simulated over %d stages\n",
+		workload, float64(app.InputBytes())/1e9, sess.Elapsed(), len(sess.Stages()))
+	if stages {
+		fmt.Println("stage  name                     partitioner  tasks  time(s)  shuffleR(KB)  shuffleW(KB)")
+		for _, st := range sess.Stages() {
+			fmt.Printf("%5d  %-23s  %-11s  %5d  %7.1f  %12.1f  %12.1f\n",
+				st.ID, st.Name, st.Partitioner, st.NumTasks, st.Duration(),
+				float64(st.ShuffleRead)/1e3, float64(st.ShuffleWrite)/1e3)
+		}
+	}
+	if gantt {
+		fmt.Print(sess.Trace(false).Gantt(100))
+	}
+	if tracePath != "" {
+		if err := sess.SaveTrace(tracePath, true); err != nil {
+			return err
+		}
+		fmt.Printf("event log written to %s\n", tracePath)
+	}
+	if util {
+		const step = 20.0
+		cpu := sess.Metrics().CPUSeries(sess.Topology(), step)
+		net := sess.Metrics().NetSeries(step)
+		fmt.Println("time(s)  cpu%  packets/s")
+		for i := range cpu.Values {
+			n := 0.0
+			if i < len(net.Values) {
+				n = net.Values[i]
+			}
+			fmt.Printf("%7.0f  %5.1f  %9.1f\n", float64(i)*step, cpu.Values[i], n)
+		}
+	}
+	return nil
+}
+
+// withForceAll applies one uniform scheme to every tunable stage.
+func withForceAll(scheme rdd.SchemeName, p int) chopper.Option {
+	return chopper.WithConfigurator(&core.ForceAll{
+		Spec: dag.SchemeSpec{Scheme: scheme, NumPartitions: p},
+	})
+}

@@ -1,0 +1,39 @@
+// Command traceview inspects event logs written by sparksim -trace or
+// Session.SaveTrace: a run summary, per-node load, and a stage Gantt chart.
+//
+// Usage:
+//
+//	traceview run.json [-width 100] [-summary] [-gantt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chopper/internal/trace"
+)
+
+func main() {
+	width := flag.Int("width", 100, "gantt chart width in columns")
+	summary := flag.Bool("summary", true, "print the run summary")
+	gantt := flag.Bool("gantt", true, "print the stage timeline")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceview [flags] <run.json>")
+		os.Exit(2)
+	}
+	l, err := trace.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+	if *summary {
+		fmt.Print(l.Summary())
+		fmt.Println()
+	}
+	if *gantt {
+		fmt.Print(l.Gantt(*width))
+	}
+}

@@ -1,0 +1,69 @@
+package chopper_test
+
+import (
+	"fmt"
+
+	"chopper"
+)
+
+// ExampleSession shows the basic RDD workflow: create a session attached to
+// the paper's simulated cluster, build a pipeline, and run an action.
+func ExampleSession() {
+	sess := chopper.NewSession(chopper.WithDefaultParallelism(8))
+	data := sess.Parallelize([]chopper.Row{
+		chopper.Pair{K: "a", V: 1.0},
+		chopper.Pair{K: "b", V: 2.0},
+		chopper.Pair{K: "a", V: 3.0},
+	}, 2)
+	sums := data.ReduceByKey(func(x, y any) any { return x.(float64) + y.(float64) }, 2)
+	m, _ := sums.CollectPairsMap()
+	fmt.Println(m["a"], m["b"])
+	// Output: 4 2
+}
+
+// ExampleExplain renders a pipeline's lineage with stage boundaries before
+// running anything — the analogue of Spark's explain().
+func ExampleExplain() {
+	sess := chopper.NewSession(chopper.WithDefaultParallelism(4))
+	r := sess.Parallelize([]chopper.Row{chopper.Pair{K: 1, V: 1.0}}, 1).
+		MapValues(func(v any) any { return v }).
+		ReduceByKey(func(a, b any) any { return a }, 2)
+	fmt.Print(chopper.Explain(r))
+	// Output:
+	// - reduceByKey#3 x2 [hash]
+	//   = mapValues#2 x1
+	//     - parallelize#1 x1
+}
+
+// ExampleTuner runs the full CHOPPER pipeline on a tiny application:
+// profile with test runs, fit the models, emit a configuration.
+func ExampleTuner() {
+	app := chopper.AppFunc{
+		AppName: "demo",
+		Bytes:   1e9,
+		Fn: func(sess *chopper.Session, inputBytes int64) error {
+			rows := 500
+			sess.SetLogicalScale(float64(inputBytes) / float64(rows*24))
+			src := sess.Generate("demo", 0, inputBytes, func(split, total int) []chopper.Row {
+				var out []chopper.Row
+				for i := split; i < rows; i += total {
+					out = append(out, chopper.Pair{K: i % 10, V: 1.0})
+				}
+				return out
+			})
+			_, err := src.ReduceByKey(func(a, b any) any {
+				return a.(float64) + b.(float64)
+			}, 0).Count()
+			return err
+		},
+	}
+	tuner := chopper.NewTuner()
+	tuner.Plan = chopper.TrialPlan{SizeFractions: []float64{1.0}, Partitions: []int{150, 300, 600}}
+	cf, err := tuner.Train(app)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("workload:", cf.Workload, "entries:", len(cf.Entries) > 0)
+	// Output: workload: demo entries: true
+}

@@ -1,0 +1,54 @@
+// KMeans: run the paper's flagship workload (21.8 GB logical, 20 stages)
+// under vanilla Spark settings and under CHOPPER, printing the per-stage
+// breakdown the paper reports in Fig. 8 / Tables II-III.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"chopper"
+)
+
+func main() {
+	shrink := flag.Int("shrink", 6, "physical dataset shrink factor (1 = full physical size)")
+	flag.Parse()
+
+	app, err := chopper.Builtin("kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+	app.Shrink(*shrink)
+
+	fmt.Println("== training CHOPPER on kmeans ==")
+	tuner := chopper.NewTuner()
+
+	cf, err := tuner.Train(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vanilla := chopper.NewSession()
+	if err := app.Run(vanilla, app.InputBytes()); err != nil {
+		log.Fatal(err)
+	}
+	tuned := chopper.NewSession(chopper.WithTuning(cf))
+	if err := app.Run(tuned, app.InputBytes()); err != nil {
+		log.Fatal(err)
+	}
+
+	vs, ts := vanilla.Stages(), tuned.Stages()
+	fmt.Println("stage  partitions(spark->chopper)   time s (spark->chopper)")
+	for i := range vs {
+		if i >= len(ts) {
+			break
+		}
+		fmt.Printf("%5d  %10d -> %-10d  %8.1f -> %-8.1f\n",
+			i, vs[i].NumTasks, ts[i].NumTasks, vs[i].Duration(), ts[i].Duration())
+	}
+	fmt.Printf("WSSSE checksum: %.2f\n", app.LastResult["wssse"])
+	fmt.Printf("total: spark %.1f s, chopper %.1f s (%.1f%% faster)\n",
+		vanilla.Elapsed(), tuned.Elapsed(),
+		(vanilla.Elapsed()-tuned.Elapsed())/vanilla.Elapsed()*100)
+}

@@ -1,0 +1,57 @@
+// PageRank: the co-partitioning showcase. The static link table is
+// partitioned once and cached; because the per-iteration join shares its
+// partitioner, the join is narrow — only the small rank contributions
+// shuffle each iteration, never the heavy link table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"chopper"
+)
+
+func main() {
+	shrink := flag.Int("shrink", 4, "physical dataset shrink factor")
+	flag.Parse()
+
+	app, err := chopper.Builtin("pagerank")
+	if err != nil {
+		log.Fatal(err)
+	}
+	app.Shrink(*shrink)
+
+	sess := chopper.NewSession()
+	if err := app.Run(sess, app.InputBytes()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pagerank over %.0f pages: %.1f simulated seconds\n",
+		app.LastResult["pages"], sess.Elapsed())
+	fmt.Printf("rank mass: %.1f (should stay near the page count)\n",
+		app.LastResult["rankTotal"])
+
+	shuffling := 0
+	for _, st := range sess.Stages() {
+		if st.ShuffleWrite > 0 {
+			shuffling++
+		}
+	}
+	fmt.Printf("shuffling stages: %d (1 partitionBy + 1 per iteration — the\n", shuffling)
+	fmt.Println("link-table join never shuffles thanks to co-partitioning)")
+	fmt.Println()
+	fmt.Print(sess.Trace(false).Gantt(100))
+
+	fmt.Println("\n== tuning with CHOPPER ==")
+	tuner := chopper.NewTuner()
+	vanilla, tuned, _, err := tuner.RunComparison(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vanilla %.1f s, tuned %.1f s (%.1f%% faster)\n",
+		vanilla, tuned, (vanilla-tuned)/vanilla*100)
+	fmt.Println("(small gain expected: this application already hand-tunes its")
+	fmt.Println(" partitioning with an explicit co-partitioner, and CHOPPER leaves")
+	fmt.Println(" user-fixed schemes intact unless a repartition clearly pays off)")
+}

@@ -1,0 +1,63 @@
+// PCA: the paper's compute- and network-intensive workload, with the
+// cluster-utilization timelines of Figs. 11-14 printed for both systems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"chopper"
+)
+
+func main() {
+	shrink := flag.Int("shrink", 6, "physical dataset shrink factor")
+	flag.Parse()
+
+	app, err := chopper.Builtin("pca")
+	if err != nil {
+		log.Fatal(err)
+	}
+	app.Shrink(*shrink)
+
+	tuner := chopper.NewTuner()
+	cf, err := tuner.Train(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vanilla := chopper.NewSession()
+	if err := app.Run(vanilla, app.InputBytes()); err != nil {
+		log.Fatal(err)
+	}
+	tuned := chopper.NewSession(chopper.WithTuning(cf))
+	if err := app.Run(tuned, app.InputBytes()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pca: vanilla %.1f s, chopper %.1f s (%.1f%% faster)\n",
+		vanilla.Elapsed(), tuned.Elapsed(),
+		(vanilla.Elapsed()-tuned.Elapsed())/vanilla.Elapsed()*100)
+	fmt.Printf("dominant eigenvalue sum: %.2f\n", app.LastResult["eigsum"])
+
+	const step = 20.0
+	fmt.Println("time(s)  cpu% spark  cpu% chopper  pkts/s spark  pkts/s chopper")
+	sv := vanilla.Metrics().CPUSeries(vanilla.Topology(), step)
+	sc := tuned.Metrics().CPUSeries(tuned.Topology(), step)
+	nv := vanilla.Metrics().NetSeries(step)
+	nc := tuned.Metrics().NetSeries(step)
+	n := len(sv.Values)
+	if len(sc.Values) > n {
+		n = len(sc.Values)
+	}
+	at := func(vals []float64, i int) float64 {
+		if i < len(vals) {
+			return vals[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		fmt.Printf("%7.0f  %10.1f  %12.1f  %12.1f  %14.1f\n",
+			float64(i)*step, at(sv.Values, i), at(sc.Values, i), at(nv.Values, i), at(nc.Values, i))
+	}
+}

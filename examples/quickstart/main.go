@@ -1,0 +1,72 @@
+// Quickstart: build a word-count-style pipeline on the simulated cluster,
+// run it under vanilla settings, then let CHOPPER tune it and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chopper"
+)
+
+const (
+	rows      = 20000
+	keys      = 500
+	inputSize = int64(8e9) // 8 GB logical
+)
+
+// app builds the pipeline: generate skewed word pairs, count per word,
+// keep the heavy hitters.
+var app = chopper.AppFunc{
+	AppName: "quickstart",
+	Bytes:   inputSize,
+	Fn: func(sess *chopper.Session, inputBytes int64) error {
+		sess.SetLogicalScale(float64(inputBytes) / float64(rows*24))
+		words := sess.Generate("words", 0, inputBytes, func(split, total int) []chopper.Row {
+			var out []chopper.Row
+			for i := split; i < rows; i += total {
+				// Quadratic skew: low word ids dominate.
+				w := (i * i / 37) % keys
+				out = append(out, chopper.Pair{K: w, V: 1.0})
+			}
+			return out
+		})
+		counts := words.ReduceByKey(func(a, b any) any {
+			return a.(float64) + b.(float64)
+		}, 0)
+		heavy := counts.Filter(func(r chopper.Row) bool {
+			return r.(chopper.Pair).V.(float64) >= 50
+		})
+		n, err := heavy.Count()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  heavy hitters: %d of %d words\n", n, keys)
+		return nil
+	},
+}
+
+func main() {
+	fmt.Println("== quickstart: vanilla run ==")
+	sess := chopper.NewSession()
+	if err := app.Run(sess, app.InputBytes()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  simulated time: %.1f s over %d stages\n", sess.Elapsed(), len(sess.Stages()))
+	for _, st := range sess.Stages() {
+		fmt.Printf("  stage %d %-18s tasks=%-4d %6.1f s\n", st.ID, st.Name, st.NumTasks, st.Duration())
+	}
+
+	fmt.Println("== training CHOPPER (offline test runs) ==")
+	tuner := chopper.NewTuner()
+	vanilla, tuned, cf, err := tuner.RunComparison(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  configuration entries: %d\n", len(cf.Entries))
+	for _, e := range cf.Entries {
+		fmt.Printf("  stage %s -> %s x%d\n", e.Signature, e.Scheme, e.NumPartitions)
+	}
+	fmt.Printf("== result: vanilla %.1f s, tuned %.1f s (%.1f%% faster) ==\n",
+		vanilla, tuned, (vanilla-tuned)/vanilla*100)
+}

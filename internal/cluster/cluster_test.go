@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"math"
+	"os"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperClusterShape(t *testing.T) {
+	topo := PaperCluster()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 6 {
+		t.Fatalf("paper cluster has 6 nodes, got %d", len(topo.Nodes))
+	}
+	w := topo.Workers()
+	if len(w) != 5 {
+		t.Fatalf("paper cluster has 5 workers, got %d", len(w))
+	}
+	if got := topo.TotalWorkerCores(); got != 3*32+2*8 {
+		t.Fatalf("total worker cores = %d, want 112", got)
+	}
+	f := topo.Node("F")
+	if f == nil || !f.IsMaster || f.SpeedGHz != 2.5 {
+		t.Fatalf("node F should be the 2.5 GHz master: %+v", f)
+	}
+	a := topo.Node("A")
+	if a.LinkGbps != 10 || a.Cores != 32 || a.SpeedGHz != 2.0 {
+		t.Fatalf("node A mismatch: %+v", a)
+	}
+	d := topo.Node("D")
+	if d.LinkGbps != 1 || d.MemGB != 48 {
+		t.Fatalf("node D mismatch: %+v", d)
+	}
+}
+
+func TestWorkersSortedAndStable(t *testing.T) {
+	topo := PaperCluster()
+	w := topo.Workers()
+	for i := 1; i < len(w); i++ {
+		if w[i-1].Name >= w[i].Name {
+			t.Fatalf("workers not name-sorted: %s >= %s", w[i-1].Name, w[i].Name)
+		}
+	}
+}
+
+func TestUniformCluster(t *testing.T) {
+	topo := UniformCluster(4, 8, 2.0)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Workers()) != 4 || topo.TotalWorkerCores() != 32 {
+		t.Fatalf("uniform cluster wrong shape")
+	}
+	if topo.Node("master") == nil {
+		t.Fatalf("uniform cluster missing master")
+	}
+}
+
+func TestValidateCatchesBadTopologies(t *testing.T) {
+	cases := []*Topology{
+		{}, // no workers
+		{Nodes: []*Node{{Name: "a", Cores: 0, SpeedGHz: 1}}},
+		{Nodes: []*Node{{Name: "a", Cores: 1, SpeedGHz: 0}}},
+		{Nodes: []*Node{{Name: "", Cores: 1, SpeedGHz: 1}}},
+		{Nodes: []*Node{{Name: "a", Cores: 1, SpeedGHz: 1}, {Name: "a", Cores: 1, SpeedGHz: 1}}},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNodeLookupMissing(t *testing.T) {
+	if PaperCluster().Node("Z") != nil {
+		t.Fatalf("lookup of missing node should return nil")
+	}
+}
+
+func TestTotalWorkerSpeed(t *testing.T) {
+	got := PaperCluster().TotalWorkerSpeed()
+	want := 3*32*2.0 + 2*8*2.3
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TotalWorkerSpeed = %v, want %v", got, want)
+	}
+}
+
+func TestMemPressurePenaltyShape(t *testing.T) {
+	p := DefaultCostParams()
+	if got := p.MemPressurePenalty(p.MemPressureBytes / 2); got != 1.0 {
+		t.Fatalf("no penalty expected below threshold, got %v", got)
+	}
+	at1 := p.MemPressurePenalty(p.MemPressureBytes)
+	if at1 != 1.0 {
+		t.Fatalf("penalty at threshold should be 1, got %v", at1)
+	}
+	p13 := p.MemPressurePenalty(1.3 * p.MemPressureBytes)
+	p16 := p.MemPressurePenalty(1.6 * p.MemPressureBytes)
+	if p13 <= 1 || p16 <= p13 {
+		t.Fatalf("penalty should grow with size below the cap: %v %v", p13, p16)
+	}
+	// Linear growth below the cap: at 1.3x threshold x=0.3.
+	want13 := 1 + p.MemPressureFactor*0.3
+	if math.Abs(p13-want13) > 1e-9 {
+		t.Fatalf("penalty(1.3*B0) = %v, want %v", p13, want13)
+	}
+	// Saturation: huge partitions hit the cap instead of exploding.
+	if got := p.MemPressurePenalty(100 * p.MemPressureBytes); got != p.MemPressureCap {
+		t.Fatalf("penalty should cap at %v, got %v", p.MemPressureCap, got)
+	}
+}
+
+func TestNetSecPerByteBottleneck(t *testing.T) {
+	p := DefaultCostParams()
+	fast := &Node{Name: "f", LinkGbps: 10}
+	slow := &Node{Name: "s", LinkGbps: 1}
+	ff := p.NetSecPerByte(fast, fast)
+	fs := p.NetSecPerByte(fast, slow)
+	ss := p.NetSecPerByte(slow, slow)
+	if !(ff < fs) {
+		t.Fatalf("fast-fast should beat fast-slow: %v vs %v", ff, fs)
+	}
+	if math.Abs(fs-ss) > 1e-15 {
+		t.Fatalf("bottleneck link should dominate: %v vs %v", fs, ss)
+	}
+	// 1 GB over an effective 7 Gbps link ~ 1.14 s.
+	sec := p.NetSecPerByte(fast, fast) * 1e9
+	want := 8.0 / (10 * p.NetEfficiency)
+	if math.Abs(sec-want) > 1e-9 {
+		t.Fatalf("transfer time = %v, want %v", sec, want)
+	}
+}
+
+func TestComputeSecScalesWithSpeed(t *testing.T) {
+	p := DefaultCostParams()
+	slow := &Node{SpeedGHz: 1.0}
+	fast := &Node{SpeedGHz: 2.0}
+	cs := p.ComputeSec(1e9, 1.0, slow)
+	cf := p.ComputeSec(1e9, 1.0, fast)
+	if math.Abs(cs-2*cf) > 1e-9 {
+		t.Fatalf("2x clock should halve compute: %v vs %v", cs, cf)
+	}
+	if math.Abs(p.ComputeSec(1e9, 2.0, slow)-2*cs) > 1e-9 {
+		t.Fatalf("cost factor should scale linearly")
+	}
+}
+
+func TestDiskAndMemReadSec(t *testing.T) {
+	p := DefaultCostParams()
+	if got := p.DiskReadSec(p.DiskReadMBps * 1e6); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("DiskReadSec off: %v", got)
+	}
+	if got := p.DiskWriteSec(p.DiskWriteMBps * 1e6); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("DiskWriteSec off: %v", got)
+	}
+	if got := p.MemReadSec(p.MemReadGBps * 1e9); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("MemReadSec off: %v", got)
+	}
+	if p.MemReadSec(1e9) >= p.DiskReadSec(1e9) {
+		t.Fatalf("cached reads must be faster than disk reads")
+	}
+}
+
+// Property: memory-pressure penalty is monotonically non-decreasing in input size.
+func TestQuickMemPressureMonotone(t *testing.T) {
+	p := DefaultCostParams()
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return p.MemPressurePenalty(lo) <= p.MemPressurePenalty(hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compute time is non-negative and linear in bytes.
+func TestQuickComputeLinear(t *testing.T) {
+	p := DefaultCostParams()
+	n := &Node{SpeedGHz: 2.0}
+	f := func(gbRaw float64) bool {
+		gb := math.Mod(math.Abs(gbRaw), 100)
+		one := p.ComputeSec(gb*1e9, 1.0, n)
+		two := p.ComputeSec(2*gb*1e9, 1.0, n)
+		return one >= 0 && math.Abs(two-2*one) < 1e-9*(1+two)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologySaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/topo.json"
+	if err := SaveTopology(path, PaperCluster()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != 6 || got.TotalWorkerCores() != 112 {
+		t.Fatalf("round trip lost nodes: %d workers %d cores", len(got.Workers()), got.TotalWorkerCores())
+	}
+	f := got.Node("F")
+	if f == nil || !f.IsMaster {
+		t.Fatalf("master flag lost")
+	}
+}
+
+func TestLoadTopologyDefaultsAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/min.json"
+	minimal := `{"nodes":[{"name":"a","cores":4,"speedGHz":2.0}]}`
+	if err := os.WriteFile(path, []byte(minimal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes[0].MemGB != 64 || got.Nodes[0].LinkGbps != 10 {
+		t.Fatalf("defaults not applied: %+v", got.Nodes[0])
+	}
+	if _, err := LoadTopology(dir + "/missing.json"); err == nil {
+		t.Fatalf("missing file should error")
+	}
+	bad := dir + "/bad.json"
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := LoadTopology(bad); err == nil {
+		t.Fatalf("corrupt file should error")
+	}
+	invalid := dir + "/invalid.json"
+	os.WriteFile(invalid, []byte(`{"nodes":[{"name":"a","cores":0,"speedGHz":1}]}`), 0o644)
+	if _, err := LoadTopology(invalid); err == nil {
+		t.Fatalf("invalid topology should fail validation")
+	}
+}

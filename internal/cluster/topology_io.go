@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// topologyJSON is the on-disk form of a Topology.
+type topologyJSON struct {
+	Nodes []nodeJSON `json:"nodes"`
+}
+
+type nodeJSON struct {
+	Name     string  `json:"name"`
+	Cores    int     `json:"cores"`
+	SpeedGHz float64 `json:"speedGHz"`
+	MemGB    float64 `json:"memGB"`
+	LinkGbps float64 `json:"linkGbps"`
+	IsMaster bool    `json:"master,omitempty"`
+}
+
+// SaveTopology writes a topology as JSON.
+func SaveTopology(path string, t *Topology) error {
+	doc := topologyJSON{}
+	for _, n := range t.Nodes {
+		doc.Nodes = append(doc.Nodes, nodeJSON{
+			Name: n.Name, Cores: n.Cores, SpeedGHz: n.SpeedGHz,
+			MemGB: n.MemGB, LinkGbps: n.LinkGbps, IsMaster: n.IsMaster,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadTopology reads and validates a topology written by SaveTopology (or
+// hand-authored), so experiments can target custom clusters.
+func LoadTopology(path string) (*Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc topologyJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("cluster: parse %s: %w", path, err)
+	}
+	t := &Topology{}
+	for _, n := range doc.Nodes {
+		node := &Node{
+			Name: n.Name, Cores: n.Cores, SpeedGHz: n.SpeedGHz,
+			MemGB: n.MemGB, LinkGbps: n.LinkGbps, IsMaster: n.IsMaster,
+		}
+		if node.MemGB <= 0 {
+			node.MemGB = 64
+		}
+		if node.LinkGbps <= 0 {
+			node.LinkGbps = 10
+		}
+		t.Nodes = append(t.Nodes, node)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	return t, nil
+}

@@ -1,0 +1,277 @@
+// Package core implements CHOPPER itself — the paper's contribution: the
+// workload database of observed stage statistics, the statistics recorder,
+// the test-run profiler, and the partition optimizer implementing the
+// paper's Algorithm 1 (stage-level scheme), Algorithm 2 (per-stage workload
+// scheme) and Algorithm 3 (globally optimized scheme with DAG regrouping and
+// repartition insertion), and the workload configuration generator.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"chopper/internal/model"
+)
+
+// StageNode is the merged DAG metadata of one stage signature within a
+// workload, accumulated across profiled jobs.
+type StageNode struct {
+	Signature  string   `json:"sig"`
+	Name       string   `json:"name"`
+	ParentSigs []string `json:"parents,omitempty"`
+	Fixed      bool     `json:"fixed,omitempty"`
+	IsJoinLike bool     `json:"join,omitempty"`
+	IsResult   bool     `json:"result,omitempty"`
+	// PinKey groups stages with a partition dependency on one cached RDD.
+	PinKey string `json:"pinKey,omitempty"`
+
+	// InputFraction is the mean observed stage input size divided by the
+	// workload input size; it projects a new workload size onto per-stage
+	// input sizes (getStageInput in the paper's algorithms).
+	InputFraction float64 `json:"inputFraction"`
+	fracSamples   int
+
+	// DefaultP and DefaultScheme describe the partitioning last observed
+	// under the default (vanilla) configuration.
+	DefaultP      int    `json:"defaultP"`
+	DefaultScheme string `json:"defaultScheme"`
+}
+
+// WorkloadData is everything the DB knows about one workload.
+type WorkloadData struct {
+	Nodes []*StageNode `json:"nodes"`
+	// Samples maps stage signature -> partitioner scheme -> observations.
+	Samples map[string]map[string][]model.Sample `json:"samples"`
+	// Runs counts profiled executions; with per-stage sample counts it
+	// yields each stage's occurrences per run (iterative stages run the
+	// same signature several times per execution).
+	Runs int `json:"runs"`
+}
+
+// DB is CHOPPER's workload database (paper Fig. 5, "Workload DB"): observed
+// input sizes, stage structure, task counts and runtime statistics, keyed by
+// workload and stage signature.
+type DB struct {
+	mu        sync.Mutex
+	Workloads map[string]*WorkloadData `json:"workloads"`
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{Workloads: map[string]*WorkloadData{}}
+}
+
+func (db *DB) workload(name string) *WorkloadData {
+	wd, ok := db.Workloads[name]
+	if !ok {
+		wd = &WorkloadData{Samples: map[string]map[string][]model.Sample{}}
+		db.Workloads[name] = wd
+	}
+	return wd
+}
+
+// StageObservation is one stage execution reported by the recorder.
+type StageObservation struct {
+	Signature   string
+	Name        string
+	ParentSigs  []string
+	Fixed       bool
+	IsJoinLike  bool
+	IsResult    bool
+	Partitioner string  // scheme name used ("hash", "range", "input")
+	PinKey      string  // partition-dependency group
+	D           float64 // stage input bytes (source + cache + shuffle read)
+	P           float64 // partition count
+	Texe        float64
+	Sshuffle    float64
+	IsDefault   bool // observed under the default configuration
+}
+
+// AddRun merges one profiled run into the database.
+func (db *DB) AddRun(workload string, workloadInputBytes float64, obs []StageObservation) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	wd := db.workload(workload)
+	wd.Runs++
+	for _, o := range obs {
+		node := wd.node(o.Signature)
+		if node == nil {
+			node = &StageNode{Signature: o.Signature, Name: o.Name}
+			wd.Nodes = append(wd.Nodes, node)
+		}
+		node.ParentSigs = mergeSigs(node.ParentSigs, o.ParentSigs)
+		node.Fixed = node.Fixed || o.Fixed
+		node.IsJoinLike = node.IsJoinLike || o.IsJoinLike
+		node.IsResult = node.IsResult || o.IsResult
+		if o.PinKey != "" {
+			node.PinKey = o.PinKey
+		}
+		if workloadInputBytes > 0 {
+			frac := o.D / workloadInputBytes
+			node.InputFraction = (node.InputFraction*float64(node.fracSamples) + frac) / float64(node.fracSamples+1)
+			node.fracSamples++
+		}
+		if o.IsDefault {
+			node.DefaultP = int(o.P)
+			node.DefaultScheme = o.Partitioner
+		}
+		bySig, ok := wd.Samples[o.Signature]
+		if !ok {
+			bySig = map[string][]model.Sample{}
+			wd.Samples[o.Signature] = bySig
+		}
+		bySig[o.Partitioner] = append(bySig[o.Partitioner], model.Sample{
+			D: o.D, P: o.P, Texe: o.Texe, Sshuffle: o.Sshuffle,
+		})
+	}
+}
+
+func (wd *WorkloadData) node(sig string) *StageNode {
+	for _, n := range wd.Nodes {
+		if n.Signature == sig {
+			return n
+		}
+	}
+	return nil
+}
+
+func mergeSigs(into, add []string) []string {
+	seen := map[string]bool{}
+	for _, s := range into {
+		seen[s] = true
+	}
+	for _, s := range add {
+		if !seen[s] {
+			seen[s] = true
+			into = append(into, s)
+		}
+	}
+	return into
+}
+
+// Nodes returns the stage nodes of a workload in first-appearance order.
+func (db *DB) Nodes(workload string) []*StageNode {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	wd, ok := db.Workloads[workload]
+	if !ok {
+		return nil
+	}
+	out := make([]*StageNode, len(wd.Nodes))
+	copy(out, wd.Nodes)
+	return out
+}
+
+// SamplesFor returns the observations of (workload, signature, scheme).
+func (db *DB) SamplesFor(workload, sig, scheme string) []model.Sample {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	wd, ok := db.Workloads[workload]
+	if !ok {
+		return nil
+	}
+	bySig, ok := wd.Samples[sig]
+	if !ok {
+		return nil
+	}
+	return bySig[scheme]
+}
+
+// Schemes lists the partitioner schemes with observations for a stage.
+func (db *DB) Schemes(workload, sig string) []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	wd, ok := db.Workloads[workload]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, s := range []string{"hash", "range", "input"} {
+		if len(wd.Samples[sig][s]) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RunCount reports how many profiled executions the workload has.
+func (db *DB) RunCount(workload string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	wd, ok := db.Workloads[workload]
+	if !ok {
+		return 0
+	}
+	return wd.Runs
+}
+
+// OccurrencesPerRun estimates how many times the stage with the given
+// signature executes in one workload run.
+func (db *DB) OccurrencesPerRun(workload, sig string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	wd, ok := db.Workloads[workload]
+	if !ok || wd.Runs == 0 {
+		return 1
+	}
+	n := 0
+	for _, ss := range wd.Samples[sig] {
+		n += len(ss)
+	}
+	occ := n / wd.Runs
+	if occ < 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// SampleCount reports the total observation count for a workload.
+func (db *DB) SampleCount(workload string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	wd, ok := db.Workloads[workload]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, bySig := range wd.Samples {
+		for _, ss := range bySig {
+			n += len(ss)
+		}
+	}
+	return n
+}
+
+// Save persists the database as JSON.
+func (db *DB) Save(path string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	data, err := json.MarshalIndent(db, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: marshal db: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadDB reads a database saved by Save.
+func LoadDB(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDB()
+	if err := json.Unmarshal(data, db); err != nil {
+		return nil, fmt.Errorf("core: unmarshal db: %w", err)
+	}
+	if db.Workloads == nil {
+		db.Workloads = map[string]*WorkloadData{}
+	}
+	for _, wd := range db.Workloads {
+		if wd.Samples == nil {
+			wd.Samples = map[string]map[string][]model.Sample{}
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,539 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"chopper/internal/config"
+	"chopper/internal/model"
+	"chopper/internal/rdd"
+)
+
+// Scheme is an optimizer decision for one stage.
+type Scheme struct {
+	Partitioner   rdd.SchemeName
+	NumPartitions int
+	Cost          float64
+}
+
+// StageScheme binds a decision to a stage signature.
+type StageScheme struct {
+	Signature string
+	Scheme
+	InsertRepartition bool
+}
+
+// Optimizer computes partition schemes from the workload DB — the paper's
+// partition optimizer component.
+type Optimizer struct {
+	DB *DB
+
+	// Alpha and Beta weight execution time versus shuffle volume in the
+	// cost objective (Eq. 3); the paper defaults both to 0.5.
+	Alpha, Beta float64
+
+	// Gamma is the benefit factor required before inserting an extra
+	// repartition phase for a user-fixed stage (the paper uses 1.5).
+	Gamma float64
+
+	// DefaultParallelism is the reference P used for cost normalization
+	// (the vanilla configuration, 300 in the paper's evaluation).
+	DefaultParallelism int
+
+	// Candidates is the searched grid of partition counts.
+	Candidates []int
+
+	// Features selects the model basis (FullFeatures reproduces the paper).
+	Features model.FeatureSet
+
+	// Ridge is the fit regularization strength.
+	Ridge float64
+
+	// RepartitionPassFraction estimates the cost of an inserted repartition
+	// phase as a fraction of the optimized stage's cost: one extra
+	// read-shuffle-write pass over the data without the stage's compute.
+	RepartitionPassFraction float64
+
+	// ShuffleBytesPerSec converts shuffle volume into time for the subgraph
+	// objective, so a kilobyte-scale shuffle cannot outvote minute-scale
+	// compute when both are normalized (aggregate cluster bandwidth).
+	ShuffleBytesPerSec float64
+}
+
+// NewOptimizer returns an optimizer with the paper's default settings.
+func NewOptimizer(db *DB) *Optimizer {
+	var candidates []int
+	for p := 10; p <= 2000; p += 10 {
+		candidates = append(candidates, p)
+	}
+	return &Optimizer{
+		DB:                      db,
+		Alpha:                   0.5,
+		Beta:                    0.5,
+		Gamma:                   1.5,
+		DefaultParallelism:      300,
+		Candidates:              candidates,
+		Features:                model.FullFeatures,
+		Ridge:                   1e-6,
+		RepartitionPassFraction: 0.5,
+		ShuffleBytesPerSec:      3e9,
+	}
+}
+
+// referenceFor returns the Eq. 3 normalization references of a stage: the
+// predicted texe and sshuffle of the DEFAULT configuration (the default
+// scheme at the default parallelism). Both partitioner candidates of
+// Algorithm 1 normalize against this one reference, so their costs are
+// directly comparable.
+func (o *Optimizer) referenceFor(workload, sig string, d float64, defaultScheme string) (refT, refS float64, err error) {
+	order := []string{defaultScheme, "hash", "input", "range"}
+	var lastErr error
+	for _, scheme := range order {
+		if scheme == "" {
+			continue
+		}
+		sm, err := o.fitScheme(workload, sig, scheme, d)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		p := float64(o.DefaultParallelism)
+		return sm.Texe.Predict(d, p), sm.Shuffle.Predict(d, p), nil
+	}
+	return 0, 0, lastErr
+}
+
+// fitScheme fits the (texe, sshuffle) models of one (stage, scheme) pair
+// for decisions at stage input size d. Samples far from d are excluded when
+// enough local ones exist: the additive basis has no D-P interaction terms,
+// so mixing distant sizes distorts the partition-count profile at the
+// operating point (the paper's model shares this coarseness; CHOPPER
+// decides "based on the current statistics").
+func (o *Optimizer) fitScheme(workload, sig, scheme string, d float64) (*model.StageModels, error) {
+	samples := o.DB.SamplesFor(workload, sig, scheme)
+	if d > 0 {
+		var local []model.Sample
+		for _, s := range samples {
+			if s.D >= 0.55*d && s.D <= 1.8*d {
+				local = append(local, s)
+			}
+		}
+		if len(local) >= model.MinSamples {
+			samples = local
+		}
+	}
+	if len(samples) < model.MinSamples {
+		return nil, fmt.Errorf("core: stage %s has %d %q samples, need %d",
+			sig, len(samples), scheme, model.MinSamples)
+	}
+	return model.FitStage(samples, o.Features, o.Ridge)
+}
+
+// GetStagePar implements Algorithm 1: it trains the range- and hash-
+// partitioner models of a stage and returns the partitioner and count with
+// the minimum predicted cost for input size d.
+func (o *Optimizer) GetStagePar(workload, sig string, d float64) (Scheme, error) {
+	type attempt struct {
+		name rdd.SchemeName
+		db   string
+	}
+	attempts := []attempt{
+		{rdd.SchemeRange, "range"},
+		{rdd.SchemeHash, "hash"},
+		// Source stages record under "input"; their decision is count-only
+		// and reported as hash (the scheduler ignores the scheme for
+		// sources).
+		{rdd.SchemeHash, "input"},
+	}
+	defScheme := ""
+	if n := o.nodeFor(workload, sig); n != nil {
+		defScheme = n.DefaultScheme
+	}
+	refT, refS, refErr := o.referenceFor(workload, sig, d, defScheme)
+	if refErr != nil {
+		return Scheme{}, fmt.Errorf("core: GetStagePar(%s): %w", sig, refErr)
+	}
+	best := Scheme{Cost: math.Inf(1)}
+	var lastErr error
+	for _, at := range attempts {
+		sm, err := o.fitScheme(workload, sig, at.db, d)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cands := o.candidatesWithin(workload, sig, at.db)
+		p, cost, err := sm.MinimizeCostWithRef(d, cands, refT, refS, o.Alpha, o.Beta)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if cost < best.Cost {
+			best = Scheme{Partitioner: at.name, NumPartitions: p, Cost: cost}
+		}
+	}
+	if best.NumPartitions == 0 {
+		if lastErr == nil {
+			lastErr = errors.New("no samples")
+		}
+		return Scheme{}, fmt.Errorf("core: GetStagePar(%s): %w", sig, lastErr)
+	}
+	return best, nil
+}
+
+// candidatesWithin restricts the search grid to the partition-count range
+// actually observed for (sig, scheme): the cubic basis extrapolates wildly
+// outside the sampled range (predictions clamp to zero and look free).
+func (o *Optimizer) candidatesWithin(workload, sig, scheme string) []int {
+	samples := o.DB.SamplesFor(workload, sig, scheme)
+	lo, hi := math.Inf(1), 0.0
+	for _, s := range samples {
+		if s.P < lo {
+			lo = s.P
+		}
+		if s.P > hi {
+			hi = s.P
+		}
+	}
+	if hi == 0 {
+		return o.Candidates
+	}
+	var out []int
+	for _, c := range o.Candidates {
+		if float64(c) >= lo && float64(c) <= hi {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return o.Candidates
+	}
+	return out
+}
+
+// nodeFor looks up the DAG node of a stage signature.
+func (o *Optimizer) nodeFor(workload, sig string) *StageNode {
+	for _, n := range o.DB.Nodes(workload) {
+		if n.Signature == sig {
+			return n
+		}
+	}
+	return nil
+}
+
+// costWithScheme evaluates Eq. 3 for a stage forced to a given scheme and
+// count, falling back across schemes when the requested one has no models.
+// Normalization uses the stage's single default-configuration reference.
+func (o *Optimizer) costWithScheme(workload, sig string, d float64, scheme rdd.SchemeName, p int) (float64, error) {
+	defScheme := ""
+	if n := o.nodeFor(workload, sig); n != nil {
+		defScheme = n.DefaultScheme
+	}
+	refT, refS, err := o.referenceFor(workload, sig, d, defScheme)
+	if err != nil {
+		return 0, err
+	}
+	order := []string{string(scheme), "hash", "range", "input"}
+	var lastErr error
+	for _, dbScheme := range order {
+		sm, err := o.fitScheme(workload, sig, dbScheme, d)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return model.Cost(sm.Texe.Predict(d, float64(p)), sm.Shuffle.Predict(d, float64(p)), refT, refS, o.Alpha, o.Beta), nil
+	}
+	return 0, lastErr
+}
+
+// stageInput projects the workload input size onto one stage.
+func stageInput(n *StageNode, workloadInput float64) float64 {
+	d := n.InputFraction * workloadInput
+	if d <= 0 {
+		d = workloadInput
+	}
+	return d
+}
+
+// GetWorkloadPar implements Algorithm 2: the naive per-stage optimum,
+// ignoring inter-stage dependencies.
+func (o *Optimizer) GetWorkloadPar(workload string, workloadInput float64) ([]StageScheme, error) {
+	nodes := o.DB.Nodes(workload)
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("core: no DAG information for workload %q", workload)
+	}
+	var out []StageScheme
+	for _, n := range nodes {
+		s, err := o.GetStagePar(workload, n.Signature, stageInput(n, workloadInput))
+		if err != nil {
+			continue // stages without enough data keep their defaults
+		}
+		out = append(out, StageScheme{Signature: n.Signature, Scheme: s})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no stage of %q has enough samples", workload)
+	}
+	return out, nil
+}
+
+// group is a regrouped-DAG node: one stage or a join-connected subgraph.
+type group struct {
+	members []*StageNode
+}
+
+// regroupDAG implements the grouping step of Algorithm 3: walking from the
+// end stages toward the sources, stages connected by join/cogroup
+// dependencies or partition dependencies (shared cached-RDD partitioning)
+// collapse into subgraphs (union-find over signatures).
+func regroupDAG(nodes []*StageNode) []group {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(s string) string {
+		p, ok := parent[s]
+		if !ok || p == s {
+			parent[s] = s
+			return s
+		}
+		root := find(p)
+		parent[s] = root
+		return root
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		if !n.IsJoinLike {
+			continue
+		}
+		for _, ps := range n.ParentSigs {
+			union(ps, n.Signature)
+		}
+	}
+	// Partition dependencies: stages whose task counts are all determined by
+	// one cached RDD's partitioning must share a scheme (the scheduler will
+	// only honor the materializing stage's entry anyway).
+	byPin := map[string]string{}
+	for _, n := range nodes {
+		if n.PinKey == "" {
+			continue
+		}
+		if first, ok := byPin[n.PinKey]; ok {
+			union(n.Signature, first)
+		} else {
+			byPin[n.PinKey] = n.Signature
+		}
+	}
+	byRoot := map[string][]*StageNode{}
+	var roots []string
+	for _, n := range nodes {
+		r := find(n.Signature)
+		if _, ok := byRoot[r]; !ok {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], n)
+	}
+	out := make([]group, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, group{members: byRoot[r]})
+	}
+	return out
+}
+
+// memberModels fits the best-available models for one subgraph member under
+// a preferred scheme, with cross-scheme fallback.
+// It also reports which DB scheme the fit used, so candidate clamping can
+// look at the same sample set.
+func (o *Optimizer) memberModels(workload, sig string, scheme rdd.SchemeName, d float64) (*model.StageModels, string, error) {
+	order := []string{string(scheme), "hash", "range", "input"}
+	var lastErr error
+	for _, dbScheme := range order {
+		sm, err := o.fitScheme(workload, sig, dbScheme, d)
+		if err == nil {
+			return sm, dbScheme, nil
+		}
+		lastErr = err
+	}
+	return nil, "", lastErr
+}
+
+// getSubGraphPar finds the single scheme minimizing the subgraph's total
+// cost (the paper's getSubGraphPar). The objective is Eq. 3 evaluated at
+// group granularity: summed predicted execution time and shuffle volume
+// over all members, normalized by the group's totals under the default
+// configuration — so one stage's dominance is weighted by its actual
+// magnitude, not flattened by per-stage normalization.
+func (o *Optimizer) getSubGraphPar(workload string, g group, workloadInput float64) (Scheme, error) {
+	type member struct {
+		n        *StageNode
+		d        float64
+		w        float64 // executions of this stage per workload run
+		sm       *model.StageModels
+		dbScheme string
+	}
+	best := Scheme{Cost: math.Inf(1)}
+	for _, scheme := range []rdd.SchemeName{rdd.SchemeHash, rdd.SchemeRange} {
+		var members []member
+		for _, n := range g.members {
+			d := stageInput(n, workloadInput)
+			sm, dbScheme, err := o.memberModels(workload, n.Signature, scheme, d)
+			if err != nil {
+				continue
+			}
+			members = append(members, member{
+				n: n, d: d,
+				w:        float64(o.DB.OccurrencesPerRun(workload, n.Signature)),
+				sm:       sm,
+				dbScheme: dbScheme,
+			})
+		}
+		if len(members) == 0 {
+			continue
+		}
+		// The group objective works in time units: shuffle bytes convert to
+		// seconds so each term's weight reflects its actual magnitude.
+		bw := o.ShuffleBytesPerSec
+		if bw <= 0 {
+			bw = 3e9
+		}
+		var refCost float64
+		for _, m := range members {
+			refCost += m.w * (o.Alpha*m.sm.Texe.Predict(m.d, float64(o.DefaultParallelism)) +
+				o.Beta*m.sm.Shuffle.Predict(m.d, float64(o.DefaultParallelism))/bw)
+		}
+		// Intersect the candidate grid with each member's sampled range
+		// (the range of the samples its model was actually fitted on).
+		cands := o.Candidates
+		for _, m := range members {
+			cands = intersect(cands, o.candidatesWithin(workload, m.n.Signature, m.dbScheme))
+		}
+		if len(cands) == 0 {
+			cands = o.Candidates
+		}
+		for _, p := range cands {
+			var total float64
+			for _, m := range members {
+				total += m.w * (o.Alpha*m.sm.Texe.Predict(m.d, float64(p)) +
+					o.Beta*m.sm.Shuffle.Predict(m.d, float64(p))/bw)
+			}
+			c := total
+			if refCost > 0 {
+				c = total / refCost
+			}
+			if c < best.Cost {
+				best = Scheme{Partitioner: scheme, NumPartitions: p, Cost: c}
+			}
+		}
+	}
+	if best.NumPartitions == 0 {
+		return Scheme{}, fmt.Errorf("core: subgraph has no trainable member")
+	}
+	return best, nil
+}
+
+func intersect(a, b []int) []int {
+	inB := map[int]bool{}
+	for _, x := range b {
+		inB[x] = true
+	}
+	var out []int
+	for _, x := range a {
+		if inB[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// GetGlobalPar implements Algorithm 3: it regroups the DAG over join
+// dependencies, computes per-node or per-subgraph schemes, and for
+// user-fixed stages decides whether inserting an extra repartition phase is
+// worth it (benefit factor Gamma).
+func (o *Optimizer) GetGlobalPar(workload string, workloadInput float64) ([]StageScheme, error) {
+	nodes := o.DB.Nodes(workload)
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("core: no DAG information for workload %q", workload)
+	}
+	var out []StageScheme
+	for _, g := range regroupDAG(nodes) {
+		var sch Scheme
+		var err error
+		if len(g.members) == 1 {
+			n := g.members[0]
+			sch, err = o.GetStagePar(workload, n.Signature, stageInput(n, workloadInput))
+		} else {
+			sch, err = o.getSubGraphPar(workload, g, workloadInput)
+		}
+		if err != nil {
+			continue
+		}
+		for _, n := range g.members {
+			ss := StageScheme{Signature: n.Signature, Scheme: sch}
+			if n.Fixed {
+				ok, repart := o.repartitionBeneficial(workload, n, workloadInput, sch)
+				if !ok {
+					continue // keep the user's partitioning untouched
+				}
+				ss.InsertRepartition = repart
+			}
+			out = append(out, ss)
+		}
+	}
+	// An empty result is legal: every trainable stage may be user-fixed and
+	// already near-optimal, in which case CHOPPER leaves the workload alone.
+	sort.Slice(out, func(i, j int) bool { return out[i].Signature < out[j].Signature })
+	return out, nil
+}
+
+// repartitionBeneficial decides whether to insert a repartition phase for a
+// fixed stage: the current cost must exceed Gamma times the optimized cost
+// plus the estimated cost of the extra repartition pass itself.
+func (o *Optimizer) repartitionBeneficial(workload string, n *StageNode, workloadInput float64, opt Scheme) (decided, insert bool) {
+	d := stageInput(n, workloadInput)
+	curScheme := rdd.SchemeName(n.DefaultScheme)
+	if !rdd.ValidScheme(curScheme) {
+		curScheme = rdd.SchemeHash
+	}
+	curP := n.DefaultP
+	if curP <= 0 {
+		curP = o.DefaultParallelism
+	}
+	curCost, err := o.costWithScheme(workload, n.Signature, d, curScheme, curP)
+	if err != nil {
+		return false, false
+	}
+	// The inserted phase re-reads and re-shuffles the stage input without
+	// the stage's compute; charge it as a fraction of the optimized cost.
+	repCost := o.RepartitionPassFraction * opt.Cost
+	optCost := opt.Cost + repCost
+	if curCost > o.Gamma*optCost {
+		return true, true
+	}
+	return false, false
+}
+
+// GenerateConfig runs the global optimizer and renders the workload
+// configuration file the scheduler consumes (paper Fig. 6).
+func (o *Optimizer) GenerateConfig(workload string, workloadInput float64) (*config.File, error) {
+	schemes, err := o.GetGlobalPar(workload, workloadInput)
+	if err != nil {
+		return nil, err
+	}
+	f := &config.File{Workload: workload}
+	for _, s := range schemes {
+		f.Set(config.Entry{
+			Signature:         s.Signature,
+			Scheme:            s.Partitioner,
+			NumPartitions:     s.NumPartitions,
+			InsertRepartition: s.InsertRepartition,
+		})
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FitForTest exposes fitScheme for diagnostics.
+func FitForTest(o *Optimizer, workload, sig, scheme string, d float64) (*model.StageModels, error) {
+	return o.fitScheme(workload, sig, scheme, d)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sync"
+
+	"chopper/internal/dag"
+	"chopper/internal/metrics"
+)
+
+// Recorder is CHOPPER's statistics collector bridge: it observes the DAG
+// structure of every job (via Scheduler.OnJob) and, combined with the
+// metrics collector, harvests StageObservations into the workload DB.
+type Recorder struct {
+	mu    sync.Mutex
+	infos map[int]dag.StageInfo // stage id -> structural info
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{infos: map[int]dag.StageInfo{}}
+}
+
+// OnJob implements the scheduler hook.
+func (r *Recorder) OnJob(infos []dag.StageInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, in := range infos {
+		r.infos[in.ID] = in
+	}
+}
+
+// Observations joins structural info with measured stage metrics.
+// isDefault marks runs executed under the default configuration, whose
+// partition counts become the normalization reference.
+func (r *Recorder) Observations(col *metrics.Collector, isDefault bool) []StageObservation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []StageObservation
+	for _, st := range col.Stages() {
+		info, ok := r.infos[st.ID]
+		if !ok {
+			continue
+		}
+		out = append(out, StageObservation{
+			Signature:   st.Signature,
+			Name:        st.Name,
+			ParentSigs:  info.ParentSigs,
+			Fixed:       info.Fixed,
+			IsJoinLike:  info.IsJoinLike,
+			IsResult:    info.IsResult,
+			Partitioner: st.Partitioner,
+			PinKey:      info.PinKey,
+			D:           float64(st.InputBytes + st.ShuffleRead),
+			P:           float64(st.NumTasks),
+			Texe:        st.Duration(),
+			Sshuffle:    float64(st.MaxShuffle()),
+			IsDefault:   isDefault,
+		})
+	}
+	return out
+}
+
+// Harvest records a completed run into the DB.
+func (r *Recorder) Harvest(db *DB, workload string, inputBytes float64, col *metrics.Collector, isDefault bool) {
+	db.AddRun(workload, inputBytes, r.Observations(col, isDefault))
+}
+
+// ForceAll is a StageConfigurator that applies one spec to every stage —
+// the mechanism behind CHOPPER's lightweight test runs, which sweep the
+// partition count and scheme across the whole workload. Test runs override
+// user-fixed partitioning (Override) so every stage's models see variation.
+type ForceAll struct {
+	Spec dag.SchemeSpec
+}
+
+var _ dag.StageConfigurator = (*ForceAll)(nil)
+
+// Scheme implements dag.StageConfigurator.
+func (f *ForceAll) Scheme(string) (dag.SchemeSpec, bool) {
+	spec := f.Spec
+	spec.Override = true
+	return spec, true
+}
+
+// Refresh implements dag.StageConfigurator.
+func (f *ForceAll) Refresh() {}

@@ -1,0 +1,381 @@
+package dag
+
+import (
+	"errors"
+	"testing"
+
+	"chopper/internal/rdd"
+)
+
+// fakeRunner implements StageRunner over the local reference evaluator: map
+// stages are recorded (their shuffles are computed lazily by the local
+// runner at result time), so tests can assert the scheduler's planning
+// behavior without the cluster engine.
+type fakeRunner struct {
+	local     *rdd.LocalRunner
+	waves     [][]*Stage
+	cachedOK  map[int]bool // rdd id -> CachedComplete answer
+	waveErr   error
+	resultErr error
+}
+
+func newFakeRunner() *fakeRunner {
+	return &fakeRunner{local: rdd.NewLocalRunner(), cachedOK: map[int]bool{}}
+}
+
+func (f *fakeRunner) RunWave(stages []*Stage) error {
+	f.waves = append(f.waves, stages)
+	return f.waveErr
+}
+
+func (f *fakeRunner) RunResult(st *Stage, fn func(split int, rows []rdd.Row) (any, error)) ([]any, error) {
+	if f.resultErr != nil {
+		return nil, f.resultErr
+	}
+	return f.local.RunJob(st.Final, fn)
+}
+
+func (f *fakeRunner) Materialize(r *rdd.RDD, split int) ([]rdd.Row, error) {
+	return f.local.Materialize(r, split)
+}
+
+func (f *fakeRunner) CachedComplete(r *rdd.RDD) bool { return f.cachedOK[r.ID] }
+
+func pairGen(ctx *rdd.Context, rows, keys int) *rdd.RDD {
+	return ctx.Generate("pg", 0, int64(rows)*24, func(split, total int) []rdd.Row {
+		var out []rdd.Row
+		for i := split; i < rows; i += total {
+			out = append(out, rdd.Pair{K: i % keys, V: 1.0})
+		}
+		return out
+	})
+}
+
+func TestSchedulerRunsJobAndAssignsIDs(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	fr := newFakeRunner()
+	s := NewScheduler(ctx, fr)
+
+	var infos []StageInfo
+	s.OnJob = func(in []StageInfo) { infos = in }
+
+	red := pairGen(ctx, 40, 5).ReduceByKey(func(a, b any) any { return a.(float64) + b.(float64) }, 3)
+	n, err := red.Count()
+	if err != nil || n != 5 {
+		t.Fatalf("count = %d err=%v", n, err)
+	}
+	if len(fr.waves) != 1 || len(fr.waves[0]) != 1 {
+		t.Fatalf("expected one map wave: %v", fr.waves)
+	}
+	mapStage := fr.waves[0][0]
+	if mapStage.OutDep == nil || mapStage.OutDep.ShuffleID == 0 {
+		t.Fatalf("shuffle id not assigned")
+	}
+	if len(infos) != 2 || infos[0].ID != 0 || infos[1].ID != 1 {
+		t.Fatalf("stage ids wrong: %+v", infos)
+	}
+	if s.StagesBuilt() != 2 {
+		t.Fatalf("StagesBuilt = %d", s.StagesBuilt())
+	}
+
+	// A second job continues the global stage counter.
+	if _, err := red.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if s.StagesBuilt() != 4 {
+		t.Fatalf("global counter should continue: %d", s.StagesBuilt())
+	}
+}
+
+func TestSchedulerWaveOrdering(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	fr := newFakeRunner()
+	s := NewScheduler(ctx, fr)
+	_ = s
+
+	left := pairGen(ctx, 30, 4).ReduceByKey(func(a, b any) any { return a }, 2)
+	right := pairGen(ctx, 30, 4).ReduceByKey(func(a, b any) any { return a }, 2)
+	j := left.Join(right, nil)
+	if _, err := j.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.waves) != 2 {
+		t.Fatalf("join should need two waves, got %d", len(fr.waves))
+	}
+	if len(fr.waves[0]) != 2 || len(fr.waves[1]) != 2 {
+		t.Fatalf("wave shapes wrong: %d, %d", len(fr.waves[0]), len(fr.waves[1]))
+	}
+	// Parents must be scheduled before children.
+	for _, early := range fr.waves[0] {
+		for _, late := range fr.waves[1] {
+			for _, p := range late.Parents {
+				if p == early {
+					goto ok
+				}
+			}
+		}
+	}
+	t.Fatalf("second wave should depend on the first")
+ok:
+}
+
+func TestSchedulerPropagatesWaveError(t *testing.T) {
+	ctx := rdd.NewContext(2)
+	fr := newFakeRunner()
+	fr.waveErr = errors.New("wave boom")
+	NewScheduler(ctx, fr)
+	red := pairGen(ctx, 10, 2).ReduceByKey(func(a, b any) any { return a }, 2)
+	if _, err := red.Count(); err == nil {
+		t.Fatalf("wave error should propagate")
+	}
+	fr2 := newFakeRunner()
+	fr2.resultErr = errors.New("result boom")
+	ctx2 := rdd.NewContext(2)
+	NewScheduler(ctx2, fr2)
+	if _, err := pairGen(ctx2, 10, 2).Count(); err == nil {
+		t.Fatalf("result error should propagate")
+	}
+}
+
+type mapCfg map[string]SchemeSpec
+
+func (m mapCfg) Scheme(sig string) (SchemeSpec, bool) { s, ok := m[sig]; return s, ok }
+func (m mapCfg) Refresh()                             {}
+
+func TestSchedulerAppliesConfig(t *testing.T) {
+	// Discover the reduce signature with a first run.
+	ctx := rdd.NewContext(4)
+	fr := newFakeRunner()
+	s := NewScheduler(ctx, fr)
+	var sig string
+	s.OnJob = func(infos []StageInfo) { sig = infos[len(infos)-1].Signature }
+	build := func(c *rdd.Context) *rdd.RDD {
+		return pairGen(c, 40, 7).ReduceByKey(func(a, b any) any { return a.(float64) + b.(float64) }, 0)
+	}
+	if _, err := build(ctx).Count(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx2 := rdd.NewContext(4)
+	fr2 := newFakeRunner()
+	s2 := NewScheduler(ctx2, fr2)
+	s2.Configurator = mapCfg{sig: {Scheme: rdd.SchemeHash, NumPartitions: 9}}
+	red := build(ctx2)
+	if _, err := red.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if red.NumParts != 9 {
+		t.Fatalf("config should retune the reduce stage: %d", red.NumParts)
+	}
+}
+
+func TestSchedulerRejectsInvalidConfig(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	fr := newFakeRunner()
+	s := NewScheduler(ctx, fr)
+	var sig string
+	s.OnJob = func(infos []StageInfo) { sig = infos[0].Signature }
+	src := pairGen(ctx, 10, 2)
+	if _, err := src.Count(); err != nil {
+		t.Fatal(err)
+	}
+	s.Configurator = mapCfg{sig: {Scheme: "bogus", NumPartitions: 5}}
+	if _, err := src.Count(); err == nil {
+		t.Fatalf("invalid scheme should fail the job")
+	}
+}
+
+func TestSchedulerSkipsMaterializedCacheRetune(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	fr := newFakeRunner()
+	s := NewScheduler(ctx, fr)
+	src := pairGen(ctx, 40, 5)
+	cached := src.Map(func(r rdd.Row) rdd.Row { return r }).Cache()
+	var sig string
+	s.OnJob = func(infos []StageInfo) { sig = infos[0].Signature }
+	if _, err := cached.Count(); err != nil {
+		t.Fatal(err)
+	}
+	before := src.NumParts
+
+	// Pretend the cache is resident; the configurator must not resplit.
+	fr.cachedOK[cached.ID] = true
+	s.Configurator = mapCfg{sig: {Scheme: rdd.SchemeHash, NumPartitions: before + 7}}
+	if _, err := cached.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if src.NumParts != before {
+		t.Fatalf("materialized cache should pin the source: %d -> %d", before, src.NumParts)
+	}
+
+	// Without residency the same config resplits.
+	fr.cachedOK[cached.ID] = false
+	if _, err := cached.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if src.NumParts != before+7 {
+		t.Fatalf("tunable source should be resplit: %d", src.NumParts)
+	}
+}
+
+func TestSchedulerPrunesCachedParentStages(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	fr := newFakeRunner()
+	NewScheduler(ctx, fr)
+	agg := pairGen(ctx, 40, 5).
+		ReduceByKey(func(a, b any) any { return a.(float64) + b.(float64) }, 3).Cache()
+	if _, err := agg.Count(); err != nil {
+		t.Fatal(err)
+	}
+	wavesBefore := len(fr.waves)
+
+	// Residency declared: the next job over agg must skip its map stage.
+	fr.cachedOK[agg.ID] = true
+	if _, err := agg.MapValues(func(v any) any { return v }).Count(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.waves) != wavesBefore {
+		t.Fatalf("cached parent stage should be pruned; extra waves ran: %d -> %d", wavesBefore, len(fr.waves))
+	}
+}
+
+func TestSchedulerSamplesRangeBounds(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	fr := newFakeRunner()
+	NewScheduler(ctx, fr)
+	sorted := pairGen(ctx, 60, 60).SortByKey(4)
+	rows, err := sorted.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rdd.CompareKeys(rows[i-1].(rdd.Pair).K, rows[i].(rdd.Pair).K) > 0 {
+			t.Fatalf("sortByKey output unsorted at %d", i)
+		}
+	}
+	// The scheduler must have replaced the pending range partitioner.
+	mapStage := fr.waves[0][0]
+	rp, ok := mapStage.OutDep.Part.(*rdd.RangePartitioner)
+	if !ok || len(rp.Bounds()) == 0 {
+		t.Fatalf("range bounds not materialized: %T", mapStage.OutDep.Part)
+	}
+	if mapStage.OutDep.WantRange {
+		t.Fatalf("WantRange should be cleared after sampling")
+	}
+}
+
+func TestSchedulerInsertRepartitionViaConfig(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	fr := newFakeRunner()
+	s := NewScheduler(ctx, fr)
+	var sigs []StageInfo
+	s.OnJob = func(infos []StageInfo) { sigs = infos }
+	build := func(c *rdd.Context) *rdd.RDD {
+		return pairGen(c, 40, 7).
+			ReduceByKeyPart(func(a, b any) any { return a.(float64) + b.(float64) }, rdd.NewHashPartitioner(5)).
+			MapValues(func(v any) any { return v })
+	}
+	want, err := build(ctx).CollectPairsMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedSig := sigs[len(sigs)-1].Signature
+	baseStages := len(sigs)
+
+	ctx2 := rdd.NewContext(4)
+	fr2 := newFakeRunner()
+	s2 := NewScheduler(ctx2, fr2)
+	s2.OnJob = func(infos []StageInfo) { sigs = infos }
+	s2.Configurator = mapCfg{fixedSig: {Scheme: rdd.SchemeHash, NumPartitions: 2, InsertRepartition: true}}
+	red := build(ctx2)
+	got, err := red.CollectPairsMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != baseStages+1 {
+		t.Fatalf("a repartition stage should be inserted: %d vs %d", len(sigs), baseStages)
+	}
+	if red.NumParts != 2 {
+		t.Fatalf("downstream should run at the inserted partitioning: %d", red.NumParts)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("insertion changed results: %d vs %d keys", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %v: %v != %v", k, got[k], v)
+		}
+	}
+}
+
+func TestSchedulerOverrideRetunesFixed(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	fr := newFakeRunner()
+	s := NewScheduler(ctx, fr)
+	var sig string
+	s.OnJob = func(infos []StageInfo) { sig = infos[len(infos)-1].Signature }
+	red := pairGen(ctx, 30, 6).ReduceByKey(func(a, b any) any { return a }, 7)
+	if _, err := red.Count(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx2 := rdd.NewContext(4)
+	fr2 := newFakeRunner()
+	s2 := NewScheduler(ctx2, fr2)
+	s2.Configurator = mapCfg{sig: {Scheme: rdd.SchemeHash, NumPartitions: 3, Override: true}}
+	red2 := pairGen(ctx2, 30, 6).ReduceByKey(func(a, b any) any { return a }, 7)
+	if _, err := red2.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if red2.NumParts != 3 {
+		t.Fatalf("Override should retune even fixed stages: %d", red2.NumParts)
+	}
+}
+
+func TestSchedulerInsertRepartitionAfterFixedSource(t *testing.T) {
+	build := func(ctx *rdd.Context) *rdd.RDD {
+		// Explicit split count pins the source (user-fixed).
+		src := ctx.Generate("pinnedSrc", 4, 1000, func(split, total int) []rdd.Row {
+			var out []rdd.Row
+			for i := split; i < 40; i += total {
+				out = append(out, rdd.Pair{K: i % 5, V: 1.0})
+			}
+			return out
+		})
+		return src.MapValues(func(v any) any { return v })
+	}
+	ctx := rdd.NewContext(4)
+	fr := newFakeRunner()
+	s := NewScheduler(ctx, fr)
+	var sigs []StageInfo
+	s.OnJob = func(infos []StageInfo) { sigs = infos }
+	want, err := build(ctx).CollectPairsMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sigs[0].Fixed {
+		t.Fatalf("explicit-count source stage should be fixed")
+	}
+	srcSig := sigs[0].Signature
+	baseStages := len(sigs)
+
+	ctx2 := rdd.NewContext(4)
+	fr2 := newFakeRunner()
+	s2 := NewScheduler(ctx2, fr2)
+	s2.OnJob = func(infos []StageInfo) { sigs = infos }
+	s2.Configurator = mapCfg{srcSig: {Scheme: rdd.SchemeHash, NumPartitions: 9, InsertRepartition: true}}
+	red := build(ctx2)
+	got, err := red.CollectPairsMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != baseStages+1 {
+		t.Fatalf("a repartition stage should be inserted after the fixed source: %d vs %d", len(sigs), baseStages)
+	}
+	if red.NumParts != 9 {
+		t.Fatalf("downstream should follow the inserted partitioning: %d", red.NumParts)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("insertion changed results: %d vs %d keys", len(got), len(want))
+	}
+}

@@ -1,0 +1,163 @@
+package dag
+
+import (
+	"testing"
+
+	"chopper/internal/rdd"
+)
+
+func genSource(ctx *rdd.Context, n int) *rdd.RDD {
+	return ctx.Generate("src", n, 1000, func(split, total int) []rdd.Row {
+		var rows []rdd.Row
+		for i := 0; i < 20; i++ {
+			if int(rdd.KeyHash(i)%uint64(total)) == split {
+				rows = append(rows, rdd.Pair{K: i, V: float64(i)})
+			}
+		}
+		return rows
+	})
+}
+
+func TestBuildStagesNarrowOnly(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	r := genSource(ctx, 4).Map(func(r rdd.Row) rdd.Row { return r }).Filter(func(rdd.Row) bool { return true })
+	result, topo := buildStages(r, nil)
+	if len(topo) != 1 || !result.IsResult {
+		t.Fatalf("narrow job should be a single result stage, got %d stages", len(topo))
+	}
+	if result.NumTasks() != 4 {
+		t.Fatalf("tasks = %d", result.NumTasks())
+	}
+	if result.PartitionerName() != "input" {
+		t.Fatalf("source stage partitioner = %q", result.PartitionerName())
+	}
+}
+
+func TestBuildStagesWithShuffle(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	red := genSource(ctx, 4).ReduceByKey(func(a, b any) any { return a }, 8)
+	tail := red.MapValues(func(v any) any { return v })
+	result, topo := buildStages(tail, nil)
+	if len(topo) != 2 {
+		t.Fatalf("expected map + result stages, got %d", len(topo))
+	}
+	mapStage := topo[0]
+	if mapStage.IsResult || mapStage.OutDep == nil {
+		t.Fatalf("first stage should be the shuffle map stage")
+	}
+	if mapStage.NumTasks() != 4 {
+		t.Fatalf("map tasks = %d, want 4", mapStage.NumTasks())
+	}
+	if result.NumTasks() != 8 {
+		t.Fatalf("result tasks = %d, want 8", result.NumTasks())
+	}
+	if len(result.Parents) != 1 || result.Parents[0] != mapStage {
+		t.Fatalf("parent wiring wrong")
+	}
+	if result.PartitionerName() != "hash" {
+		t.Fatalf("reduce stage partitioner = %q", result.PartitionerName())
+	}
+	if !result.Fixed() {
+		t.Fatalf("explicit-count reduce stage should be fixed")
+	}
+}
+
+func TestBuildStagesJoinDiamond(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	left := genSource(ctx, 2).ReduceByKey(func(a, b any) any { return a }, 0)
+	right := genSource(ctx, 2).ReduceByKey(func(a, b any) any { return a }, 0)
+	joined := left.Join(right, nil)
+	result, topo := buildStages(joined, nil)
+	// Stages: 2 agg map stages + 2 join-input map stages + result.
+	if len(topo) != 5 {
+		t.Fatalf("join job stage count = %d, want 5", len(topo))
+	}
+	if !result.IsJoinLike() {
+		t.Fatalf("result stage should be join-like")
+	}
+	if len(result.Parents) != 2 {
+		t.Fatalf("join result should have two parents, got %d", len(result.Parents))
+	}
+	waves := Waves(topo)
+	if len(waves) != 2 {
+		t.Fatalf("join job should form 2 map waves, got %d", len(waves))
+	}
+	if len(waves[0]) != 2 || len(waves[1]) != 2 {
+		t.Fatalf("wave shapes wrong: %d, %d", len(waves[0]), len(waves[1]))
+	}
+}
+
+func TestSignatureStableAcrossIterations(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	base := genSource(ctx, 4).Cache()
+	sig := func() (string, string) {
+		red := base.MapPartitions("assign", 2.0, func(_ int, rows []rdd.Row) []rdd.Row { return rows }).
+			ReduceByKey(func(a, b any) any { return a }, 0)
+		_, topo := buildStages(red.MapValues(func(v any) any { return v }), nil)
+		return topo[0].Signature, topo[1].Signature
+	}
+	m1, r1 := sig()
+	m2, r2 := sig()
+	if m1 != m2 || r1 != r2 {
+		t.Fatalf("iterative stages must share signatures: %s/%s vs %s/%s", m1, r1, m2, r2)
+	}
+	if m1 == r1 {
+		t.Fatalf("map and reduce stages must not collide")
+	}
+}
+
+func TestSignatureDistinguishesPipelines(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	a := genSource(ctx, 4).Map(func(r rdd.Row) rdd.Row { return r })
+	b := genSource(ctx, 4).Filter(func(rdd.Row) bool { return true })
+	_, ta := buildStages(a, nil)
+	_, tb := buildStages(b, nil)
+	if ta[0].Signature == tb[0].Signature {
+		t.Fatalf("different op chains must have different signatures")
+	}
+}
+
+func TestStageFixedSemantics(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	tunable := genSource(ctx, 0).ReduceByKey(func(a, b any) any { return a }, 0)
+	_, topo := buildStages(tunable, nil)
+	if topo[1].Fixed() {
+		t.Fatalf("default-parallelism reduce should be tunable")
+	}
+	if topo[0].Fixed() {
+		t.Fatalf("tunable generator source stage should not be fixed")
+	}
+	pinnedSrc := ctx.Generate("pinned", 3, 100, func(s, n int) []rdd.Row { return nil })
+	_, topo2 := buildStages(pinnedSrc.Map(func(r rdd.Row) rdd.Row { return r }), nil)
+	if !topo2[0].Fixed() {
+		t.Fatalf("explicit-count source stage should be fixed")
+	}
+}
+
+func TestWavesLinearChain(t *testing.T) {
+	ctx := rdd.NewContext(2)
+	r := genSource(ctx, 2).
+		ReduceByKey(func(a, b any) any { return a }, 2).
+		MapValues(func(v any) any { return v }).
+		ReduceByKey(func(a, b any) any { return a }, 2)
+	_, topo := buildStages(r, nil)
+	waves := Waves(topo)
+	if len(waves) != 2 || len(waves[0]) != 1 || len(waves[1]) != 1 {
+		t.Fatalf("linear chain should give two singleton waves: %v", waves)
+	}
+}
+
+func TestStageStringAndName(t *testing.T) {
+	ctx := rdd.NewContext(2)
+	r := genSource(ctx, 2).ReduceByKey(func(a, b any) any { return a }, 2)
+	result, topo := buildStages(r, nil)
+	if topo[0].Name() != "map:src" {
+		t.Fatalf("map stage name = %q", topo[0].Name())
+	}
+	if result.Name() != "result:reduceByKey" {
+		t.Fatalf("result stage name = %q", result.Name())
+	}
+	if result.String() == "" {
+		t.Fatalf("String should render")
+	}
+}

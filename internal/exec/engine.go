@@ -1,0 +1,740 @@
+// Package exec is the task execution engine: it really computes RDD
+// partitions (Go closures over real rows, run on a worker-goroutine pool)
+// while charging their cost to a deterministic simulated clock using the
+// cluster cost model. Shuffle volumes, skew, stragglers and locality effects
+// are therefore measured from genuine data, while time stays reproducible
+// and laptop-fast.
+//
+// Execution of one wave proceeds in three passes:
+//
+//  1. compute pass (parallel, node-agnostic): materialize every task's rows,
+//     accounting input/shuffle/cost bytes;
+//  2. placement pass (sequential, deterministic): list-schedule tasks onto
+//     executor cores in simulated time, honoring preferred locations with a
+//     bounded locality wait, then derive each task's duration from the cost
+//     model on its chosen node;
+//  3. commit pass: register shuffle outputs, cache partitions, and emit
+//     metrics at the simulated timestamps.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"chopper/internal/cluster"
+	"chopper/internal/dag"
+	"chopper/internal/metrics"
+	"chopper/internal/rdd"
+	"chopper/internal/shuffle"
+	"chopper/internal/storage"
+)
+
+// StorageFraction is the share of executor memory available to the cache
+// (spark.memory.storageFraction analogue).
+const StorageFraction = 0.6
+
+// hdfsBlockBytes is the simulated HDFS block size (128 MB).
+const hdfsBlockBytes = 128 << 20
+
+// Engine executes stages on the simulated cluster.
+type Engine struct {
+	Topo   *cluster.Topology
+	Params cluster.CostParams
+	Ctx    *rdd.Context
+
+	Shuffle *shuffle.Manager
+	Cache   *storage.MemStore
+	Blocks  *storage.BlockStore
+	Col     *metrics.Collector
+
+	// CoPartitionAware enables CHOPPER's scheduling extensions: overlap of
+	// independent stages in a wave (combined shuffle writes), locality-aware
+	// reduce placement, and partitioner-pinned cache placement.
+	CoPartitionAware bool
+
+	// ComputeWorkers bounds the real goroutine pool (defaults to NumCPU).
+	ComputeWorkers int
+
+	// AfterStage, when non-nil, runs after each stage completes (simulated
+	// time already advanced past it). Fault-injection experiments use it to
+	// kill nodes at precise points of a workload.
+	AfterStage func(stageID int)
+
+	// Speculate enables speculative execution (off by default, matching
+	// spark.speculation): straggling tasks get a backup attempt on a free
+	// core once most of their stage has finished.
+	Speculate bool
+
+	mu         sync.Mutex
+	now        float64
+	srcFiles   map[int]string // source RDD id -> block-store file
+	workerList []*cluster.Node
+}
+
+// New creates an engine over the given topology and cost model.
+func New(topo *cluster.Topology, params cluster.CostParams, ctx *rdd.Context, col *metrics.Collector, coPartition bool) *Engine {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	workers := topo.Workers()
+	names := make([]string, len(workers))
+	capPerNode := map[string]int64{}
+	for i, w := range workers {
+		names[i] = w.Name
+		capPerNode[w.Name] = int64(cluster.ExecutorMemGB * StorageFraction * 1e9)
+	}
+	return &Engine{
+		Topo:             topo,
+		Params:           params,
+		Ctx:              ctx,
+		Shuffle:          shuffle.NewManager(int64(params.ShuffleBlockOverheadBytes), int64(params.ShuffleEmptyBlockBytes)),
+		Cache:            storage.NewMemStore(capPerNode),
+		Blocks:           storage.NewBlockStore(hdfsBlockBytes, 2, names),
+		Col:              col,
+		CoPartitionAware: coPartition,
+		ComputeWorkers:   runtime.NumCPU(),
+		srcFiles:         map[int]string{},
+		workerList:       workers,
+	}
+}
+
+// Now reports the engine's simulated time.
+func (e *Engine) Now() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// ensureSource registers a generator source with the block store so its
+// splits gain HDFS-like preferred locations.
+func (e *Engine) ensureSource(r *rdd.RDD) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if f, ok := e.srcFiles[r.ID]; ok {
+		return f
+	}
+	name := fmt.Sprintf("src-%d", r.ID)
+	bytes := r.SourceBytes
+	if bytes <= 0 {
+		bytes = 1
+	}
+	e.Blocks.AddFile(name, bytes)
+	e.srcFiles[r.ID] = name
+	return name
+}
+
+// task is one unit of execution within a wave.
+type task struct {
+	stage *dag.Stage
+	split int
+	idx   int // dispatch index within the stage
+
+	// Filled by the compute pass.
+	rows     []rdd.Row
+	records  int64
+	srcBytes int64
+	srcNodes []string
+	cacheBy  map[string]int64 // cached-input bytes by node
+	shufBy   map[string]int64 // shuffle-input bytes by node
+	cost     float64          // logical byte-cost units
+	pending  []pendingCache
+	blocks   []shuffle.Block // map output (map stages only)
+	writeB   int64
+
+	// Filled by the placement pass.
+	node   *cluster.Node
+	start  float64
+	end    float64
+	result any
+}
+
+type pendingCache struct {
+	key   storage.CacheKey
+	bytes int64
+	rows  []rdd.Row
+	part  rdd.Partitioner // partitioner of the cached RDD, for pinning
+}
+
+func (t *task) inputBytes() int64 {
+	var sum int64 = t.srcBytes
+	for _, b := range t.cacheBy {
+		sum += b
+	}
+	for _, b := range t.shufBy {
+		sum += b
+	}
+	return sum
+}
+
+// RunWave implements dag.StageRunner. CHOPPER mode overlaps the wave's
+// stages on the shared core pool; vanilla mode runs them one by one.
+func (e *Engine) RunWave(stages []*dag.Stage) error {
+	if e.CoPartitionAware {
+		_, err := e.runStages(stages, nil)
+		return err
+	}
+	for _, st := range stages {
+		if _, err := e.runStages([]*dag.Stage{st}, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunResult implements dag.StageRunner.
+func (e *Engine) RunResult(st *dag.Stage, fn func(split int, rows []rdd.Row) (any, error)) ([]any, error) {
+	return e.runStages([]*dag.Stage{st}, fn)
+}
+
+// Materialize implements dag.StageRunner: driver-side evaluation with no
+// simulated cost and no cache mutation (used for range-bounds sampling).
+func (e *Engine) Materialize(r *rdd.RDD, split int) ([]rdd.Row, error) {
+	a := newAcct()
+	rows, _, err := e.materialize(r, split, a)
+	return rows, err
+}
+
+// KillNode removes a worker from the cluster at the current simulated time,
+// modeling a node failure (the paper's future-work scenario): the node
+// receives no further tasks and every partition it cached is lost — later
+// stages recompute the lost partitions from lineage, exactly like Spark.
+// Shuffle outputs are unaffected across jobs because each job re-executes
+// (or cache-skips) its map stages. Killing the last worker is an error.
+func (e *Engine) KillNode(name string) error {
+	e.mu.Lock()
+	var kept []*cluster.Node
+	found := false
+	for _, w := range e.workerList {
+		if w.Name == name {
+			found = true
+			continue
+		}
+		kept = append(kept, w)
+	}
+	if !found {
+		e.mu.Unlock()
+		return fmt.Errorf("exec: unknown worker %q", name)
+	}
+	if len(kept) == 0 {
+		e.mu.Unlock()
+		return fmt.Errorf("exec: cannot kill the last worker")
+	}
+	e.workerList = kept
+	now := e.now
+	e.mu.Unlock()
+
+	for _, dropped := range e.Cache.DropNode(name) {
+		if e.Col != nil {
+			e.Col.MemDelta(now, -float64(dropped.Bytes))
+		}
+	}
+	return nil
+}
+
+// AliveWorkers reports the names of workers still accepting tasks.
+func (e *Engine) AliveWorkers() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, len(e.workerList))
+	for i, w := range e.workerList {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// CachedComplete implements dag.StageRunner: true when every partition of r
+// (at its current partition count) is resident in the memory store.
+func (e *Engine) CachedComplete(r *rdd.RDD) bool {
+	if !r.Cached {
+		return false
+	}
+	for s := 0; s < r.NumParts; s++ {
+		if _, ok := e.Cache.Peek(storage.CacheKey{RDD: r.ID, Split: s, Of: r.NumParts}); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// runStages executes a set of independent stages as one scheduling round.
+func (e *Engine) runStages(stages []*dag.Stage, resultFn func(int, []rdd.Row) (any, error)) ([]any, error) {
+	start := e.Now()
+
+	var tasks []*task
+	for _, st := range stages {
+		if st.OutDep != nil {
+			e.Shuffle.Register(st.OutDep.ShuffleID, st.NumTasks(), st.OutDep.Part.NumPartitions())
+		}
+		for split := 0; split < st.NumTasks(); split++ {
+			tasks = append(tasks, &task{stage: st, split: split, idx: split})
+		}
+	}
+
+	if err := e.computePass(tasks); err != nil {
+		return nil, err
+	}
+	e.placementPass(tasks, start)
+	end, err := e.commitPass(stages, tasks, start, resultFn)
+
+	e.mu.Lock()
+	if end > e.now {
+		e.now = end
+	}
+	e.mu.Unlock()
+
+	if err != nil {
+		return nil, err
+	}
+	if e.AfterStage != nil {
+		for _, st := range stages {
+			e.AfterStage(st.ID)
+		}
+	}
+	if resultFn == nil {
+		return nil, nil
+	}
+	out := make([]any, 0, len(tasks))
+	for _, t := range tasks {
+		out = append(out, t.result)
+	}
+	return out, nil
+}
+
+// computePass materializes every task in parallel (node-agnostic).
+func (e *Engine) computePass(tasks []*task) error {
+	workers := e.ComputeWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	errCh := make(chan error, len(tasks))
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t *task) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errCh <- e.computeTask(t)
+		}(t)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) computeTask(t *task) error {
+	a := newAcct()
+	rows, _, err := e.materialize(t.stage.Final, t.split, a)
+	if err != nil {
+		return fmt.Errorf("exec: stage %d task %d: %w", t.stage.ID, t.split, err)
+	}
+	t.rows = rows
+	t.records = int64(len(rows))
+	t.srcBytes = a.srcBytes
+	t.srcNodes = a.srcNodes
+	t.cacheBy = a.cacheBy
+	t.shufBy = a.shufBy
+	t.cost = a.cost
+	t.pending = a.pending
+
+	if dep := t.stage.OutDep; dep != nil {
+		buckets, err := rdd.PartitionPairs(rows, dep.Part, dep.Agg)
+		if err != nil {
+			return fmt.Errorf("exec: stage %d shuffle write: %w", t.stage.ID, err)
+		}
+		scale := e.Ctx.LogicalScale
+		t.blocks = make([]shuffle.Block, len(buckets))
+		for i, b := range buckets {
+			payload := int64(rdd.LogicalPairsBytes(b, scale))
+			t.blocks[i] = shuffle.Block{Pairs: b, PayloadBytes: payload}
+			t.writeB += payload + e.Shuffle.BlockOverhead(payload)
+		}
+	}
+	return nil
+}
+
+// placementPass assigns tasks to cores in simulated time.
+func (e *Engine) placementPass(tasks []*task, waveStart float64) {
+	// Cores are interleaved across nodes (A0,B0,...,A1,B1,...) so the
+	// round-robin tie-break spreads simultaneous tasks over machines.
+	var cores []*placementCore
+	byNode := map[string][]*placementCore{}
+	maxCores := 0
+	workers := e.aliveSnapshot()
+	for _, w := range workers {
+		if w.Cores > maxCores {
+			maxCores = w.Cores
+		}
+	}
+	for i := 0; i < maxCores; i++ {
+		for _, w := range workers {
+			if i >= w.Cores {
+				continue
+			}
+			c := &placementCore{node: w, avail: waveStart}
+			cores = append(cores, c)
+			byNode[w.Name] = append(byNode[w.Name], c)
+		}
+	}
+	// Ties on availability are broken round-robin so equal-readiness cores
+	// spread tasks across executors the way Spark's task scheduler does,
+	// instead of piling every task on the first node.
+	rr := 0
+	earliest := func(cs []*placementCore) *placementCore {
+		if len(cs) == 0 {
+			return nil
+		}
+		min := math.Inf(1)
+		for _, c := range cs {
+			if c.avail < min {
+				min = c.avail
+			}
+		}
+		for k := 0; k < len(cs); k++ {
+			c := cs[(rr+k)%len(cs)]
+			if c.avail == min {
+				return c
+			}
+		}
+		return cs[0]
+	}
+
+	for _, t := range tasks {
+		rr++
+		dispatch := waveStart + float64(t.idx)*e.Params.DriverDispatchSec
+		prefs := e.preferredNodes(t)
+		chosen := earliest(cores)
+		for _, p := range prefs {
+			if pc := earliest(byNode[p]); pc != nil {
+				if pc.avail <= chosen.avail+e.Params.LocalityWaitSec {
+					chosen = pc
+				}
+				break // only the top preference gets the locality wait
+			}
+		}
+		t.node = chosen.node
+		t.start = chosen.avail
+		if dispatch > t.start {
+			t.start = dispatch
+		}
+		t.end = t.start + e.taskDuration(t, chosen.node)*e.Params.Jitter(t.stage.ID, t.split)
+		chosen.avail = t.end
+	}
+
+	if e.Speculate {
+		e.speculatePass(tasks, cores)
+	}
+}
+
+// speculatePass models spark.speculation: for each stage with enough tasks,
+// once the configured quantile of tasks has finished, stragglers running
+// longer than Multiplier x the median duration get a backup attempt on the
+// earliest-free core; the task finishes at the earlier attempt. Backups help
+// against slow nodes and unlucky placements, not against data skew — the
+// copy of a hot partition is just as large.
+func (e *Engine) speculatePass(tasks []*task, cores []*placementCore) {
+	byStage := map[*dag.Stage][]*task{}
+	for _, t := range tasks {
+		byStage[t.stage] = append(byStage[t.stage], t)
+	}
+	mult := e.Params.SpeculationMultiplier
+	if mult <= 1 {
+		mult = 1.5
+	}
+	quant := e.Params.SpeculationQuantile
+	if quant <= 0 || quant >= 1 {
+		quant = 0.75
+	}
+	// Deterministic stage order.
+	var stages []*dag.Stage
+	for st := range byStage {
+		stages = append(stages, st)
+	}
+	sort.Slice(stages, func(i, j int) bool { return stages[i].ID < stages[j].ID })
+	for _, st := range stages {
+		group := byStage[st]
+		if len(group) < 8 {
+			continue
+		}
+		durs := make([]float64, len(group))
+		ends := make([]float64, len(group))
+		for i, t := range group {
+			durs[i] = t.end - t.start
+			ends[i] = t.end
+		}
+		sort.Float64s(durs)
+		sort.Float64s(ends)
+		median := durs[len(durs)/2]
+		detect := ends[int(quant*float64(len(ends)))]
+		for _, t := range group {
+			if t.end-t.start <= mult*median || t.end <= detect {
+				continue
+			}
+			// Backup attempt on the earliest-free core.
+			var best *placementCore
+			for _, c := range cores {
+				if best == nil || c.avail < best.avail {
+					best = c
+				}
+			}
+			if best == nil {
+				continue
+			}
+			start := best.avail
+			if detect > start {
+				start = detect
+			}
+			dur := e.taskDuration(t, best.node) * e.Params.Jitter(t.stage.ID, t.split+1000003)
+			if start+dur < t.end {
+				t.end = start + dur
+				t.node = best.node
+				best.avail = t.end
+			}
+		}
+	}
+}
+
+// placementCore is one executor core's availability during list scheduling.
+type placementCore struct {
+	node  *cluster.Node
+	avail float64
+}
+
+// preferredNodes ranks candidate nodes for a task: pinned cache placement
+// (CHOPPER), existing cache locations, shuffle-input locality (CHOPPER),
+// then source block locations.
+func (e *Engine) preferredNodes(t *task) []string {
+	var prefs []string
+	if e.CoPartitionAware {
+		for _, p := range t.pending {
+			if p.part != nil {
+				prefs = append(prefs, e.pinNode(t.split))
+				break
+			}
+		}
+	}
+	if len(t.cacheBy) > 0 {
+		prefs = append(prefs, topNodes(t.cacheBy)...)
+	}
+	if e.CoPartitionAware && len(t.shufBy) > 0 {
+		prefs = append(prefs, topNodes(t.shufBy)...)
+	}
+	if len(t.srcNodes) > 0 {
+		prefs = append(prefs, t.srcNodes...)
+	}
+	return dedup(prefs)
+}
+
+// aliveSnapshot returns the current worker list under the lock.
+func (e *Engine) aliveSnapshot() []*cluster.Node {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*cluster.Node, len(e.workerList))
+	copy(out, e.workerList)
+	return out
+}
+
+// pinNode deterministically maps a partition id to a worker, weighted by
+// core count, so equal splits of co-partitioned RDDs land on the same
+// machine (the paper's "partitions in the same key range on the same
+// machine"). The mapping depends only on the split so runs are reproducible
+// regardless of how many partitioner instances were created before.
+func (e *Engine) pinNode(split int) string {
+	workers := e.aliveSnapshot()
+	total := 0
+	for _, w := range workers {
+		total += w.Cores
+	}
+	slot := (split * 7919) % total
+	for _, w := range workers {
+		if slot < w.Cores {
+			return w.Name
+		}
+		slot -= w.Cores
+	}
+	return workers[0].Name
+}
+
+func topNodes(byNode map[string]int64) []string {
+	type nb struct {
+		n string
+		b int64
+	}
+	var list []nb
+	for n, b := range byNode {
+		list = append(list, nb{n, b})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].b != list[j].b {
+			return list[i].b > list[j].b
+		}
+		return list[i].n < list[j].n
+	})
+	out := make([]string, len(list))
+	for i, e := range list {
+		out[i] = e.n
+	}
+	return out
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// taskDuration evaluates the cost model for a task on a node.
+func (e *Engine) taskDuration(t *task, node *cluster.Node) float64 {
+	p := e.Params
+	d := p.TaskFixedSec
+
+	if t.srcBytes > 0 {
+		d += p.DiskReadSec(float64(t.srcBytes))
+		if !containsStr(t.srcNodes, node.Name) {
+			// Non-local HDFS read also crosses the network.
+			d += float64(t.srcBytes) * p.NetSecPerByte(node, e.bottleneckPeer(node))
+		}
+	}
+	for n, b := range t.cacheBy {
+		if n == node.Name {
+			d += p.MemReadSec(float64(b))
+		} else {
+			d += float64(b) * p.NetSecPerByte(node, e.nodeOrSelf(n, node))
+		}
+	}
+	for n, b := range t.shufBy {
+		if n == node.Name {
+			d += p.DiskReadSec(float64(b))
+		} else {
+			d += float64(b) * p.NetSecPerByte(node, e.nodeOrSelf(n, node))
+		}
+	}
+	d += p.ComputeSec(t.cost, 1.0, node) * p.MemPressurePenalty(float64(t.inputBytes()))
+	if t.writeB > 0 {
+		d += p.DiskWriteSec(float64(t.writeB))
+	}
+	return d
+}
+
+func (e *Engine) nodeOrSelf(name string, fallback *cluster.Node) *cluster.Node {
+	if n := e.Topo.Node(name); n != nil {
+		return n
+	}
+	return fallback
+}
+
+// bottleneckPeer picks a representative remote peer for source reads: the
+// slowest-linked worker, a conservative stand-in for an unknown replica.
+func (e *Engine) bottleneckPeer(node *cluster.Node) *cluster.Node {
+	best := node
+	for _, w := range e.aliveSnapshot() {
+		if w.Name == node.Name {
+			continue
+		}
+		if best == node || w.LinkGbps < best.LinkGbps {
+			best = w
+		}
+	}
+	return best
+}
+
+func containsStr(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// commitPass publishes shuffle outputs and caches, evaluates result
+// closures, and emits metrics. Returns the round's end time.
+func (e *Engine) commitPass(stages []*dag.Stage, tasks []*task, start float64, resultFn func(int, []rdd.Row) (any, error)) (float64, error) {
+	for _, st := range stages {
+		if e.Col != nil {
+			e.Col.BeginStage(st.ID, st.Signature, st.Name(), st.PartitionerName(), st.NumTasks(), start)
+		}
+	}
+	end := start
+	var firstErr error
+	stageEnd := map[*dag.Stage]float64{}
+	for _, t := range tasks {
+		if t.end > end {
+			end = t.end
+		}
+		if t.end > stageEnd[t.stage] {
+			stageEnd[t.stage] = t.end
+		}
+		if dep := t.stage.OutDep; dep != nil {
+			e.Shuffle.PutMapOutput(dep.ShuffleID, t.split, t.node.Name, t.blocks)
+		}
+		for _, pc := range t.pending {
+			evicted := e.Cache.Put(pc.key, t.node.Name, pc.bytes, pc.rows)
+			if e.Col != nil {
+				e.Col.MemDelta(t.end, float64(pc.bytes))
+				for _, ev := range evicted {
+					e.Col.MemDelta(t.end, -float64(ev.Bytes))
+				}
+			}
+		}
+		var local, remote int64
+		for n, b := range t.shufBy {
+			if n == t.node.Name {
+				local += b
+			} else {
+				remote += b
+			}
+		}
+		if resultFn != nil && firstErr == nil {
+			res, err := resultFn(t.split, t.rows)
+			if err != nil {
+				firstErr = err
+			}
+			t.result = res
+		}
+		if e.Col != nil {
+			e.Col.AddTask(metrics.TaskMetric{
+				StageID: t.stage.ID, TaskID: t.split, Node: t.node.Name,
+				Start: t.start, End: t.end,
+				InputBytes:        t.srcBytes + sumBytes(t.cacheBy),
+				ShuffleReadLocal:  local,
+				ShuffleReadRemote: remote,
+				ShuffleWrite:      t.writeB,
+				Records:           t.records,
+			}, e.Params)
+		}
+	}
+	for _, st := range stages {
+		if e.Col != nil {
+			se := stageEnd[st]
+			if se == 0 {
+				se = start
+			}
+			e.Col.EndStage(st.ID, se)
+		}
+	}
+	return end, firstErr
+}
+
+func sumBytes(m map[string]int64) int64 {
+	var s int64
+	for _, b := range m {
+		s += b
+	}
+	return s
+}

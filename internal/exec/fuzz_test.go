@@ -1,0 +1,147 @@
+package exec_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"chopper/internal/dag"
+	"chopper/internal/rdd"
+)
+
+// buildRandomPipeline composes a random-but-deterministic RDD pipeline from
+// a seed: a pair source followed by 1-6 operators drawn from the public
+// surface (narrow transforms, shuffles, joins, caching). The same seed
+// produces the same pipeline on any context, so the engine's output can be
+// compared against the local reference evaluator.
+func buildRandomPipeline(ctx *rdd.Context, seed int64) *rdd.RDD {
+	rng := rand.New(rand.NewSource(seed))
+	rows := 100 + rng.Intn(400)
+	keys := 3 + rng.Intn(20)
+	src := ctx.Generate(fmt.Sprintf("fuzz-%d", seed), 0, int64(rows)*24, func(split, total int) []rdd.Row {
+		var out []rdd.Row
+		for i := split; i < rows; i += total {
+			out = append(out, rdd.Pair{K: i % keys, V: float64(i%17) + 1})
+		}
+		return out
+	})
+	cur := src
+	ops := 1 + rng.Intn(6)
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			cur = cur.MapValues(func(v any) any { return v.(float64) + 1 })
+		case 1:
+			cur = cur.Filter(func(r rdd.Row) bool {
+				return r.(rdd.Pair).V.(float64) > 2
+			})
+		case 2:
+			n := 0
+			if rng.Intn(2) == 0 {
+				n = 2 + rng.Intn(8)
+			}
+			cur = cur.ReduceByKey(func(a, b any) any {
+				return a.(float64) + b.(float64)
+			}, n)
+		case 3:
+			cur = cur.FlatMap(func(r rdd.Row) []rdd.Row {
+				p := r.(rdd.Pair)
+				return []rdd.Row{p, rdd.Pair{K: p.K, V: 0.5}}
+			})
+		case 4:
+			cur = cur.Cache()
+		case 5:
+			other := ctx.Generate(fmt.Sprintf("fuzz-side-%d-%d", seed, i), 0, 600, func(split, total int) []rdd.Row {
+				var out []rdd.Row
+				for j := split; j < keys; j += total {
+					out = append(out, rdd.Pair{K: j, V: "side"})
+				}
+				return out
+			})
+			joined := cur.Join(other, nil)
+			cur = joined.MapValues(func(v any) any {
+				return v.(rdd.JoinedValue).Left
+			})
+		case 6:
+			cur = cur.Repartition(2 + rng.Intn(6))
+		case 7:
+			cur = cur.GroupByKey(0).MapValues(func(v any) any {
+				return float64(len(v.([]any)))
+			})
+		}
+	}
+	return cur
+}
+
+// summarize reduces a pair RDD's contents to a comparable map.
+func summarize(t *testing.T, r *rdd.RDD) map[any]float64 {
+	t.Helper()
+	rows, err := r.Collect()
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	out := map[any]float64{}
+	for _, row := range rows {
+		p := row.(rdd.Pair)
+		out[p.K] += p.V.(float64)
+	}
+	return out
+}
+
+// TestQuickEngineMatchesOracleOnRandomPipelines is the end-to-end property:
+// for any randomly composed pipeline, the cluster engine (with all its
+// scheduling, shuffling, caching and placement machinery) must produce
+// exactly the rows of the single-threaded reference evaluator.
+func TestQuickEngineMatchesOracleOnRandomPipelines(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		seed := int64(seedRaw)
+		h := newHarness(seed%2 == 0, nil) // alternate vanilla / co-partition modes
+
+		engineOut := summarize(t, buildRandomPipeline(h.ctx, seed))
+
+		lctx := rdd.NewContext(6)
+		lctx.LogicalScale = 1000
+		lctx.SetRunner(rdd.NewLocalRunner())
+		oracleOut := summarize(t, buildRandomPipeline(lctx, seed))
+
+		if !reflect.DeepEqual(engineOut, oracleOut) {
+			t.Logf("seed %d diverged:\n engine %v\n oracle %v", seed, engineOut, oracleOut)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomPipelinesUnderForcedRepartitioning re-runs random pipelines
+// with a uniform configurator: results must not depend on the partitioning
+// the optimizer imposes.
+func TestQuickRandomPipelinesUnderForcedRepartitioning(t *testing.T) {
+	f := func(seedRaw uint32, pRaw uint8) bool {
+		seed := int64(seedRaw)
+		base := newHarness(false, nil)
+		want := summarize(t, buildRandomPipeline(base.ctx, seed))
+
+		forced := newHarness(true, staticAll{n: 2 + int(pRaw%40)})
+		got := summarize(t, buildRandomPipeline(forced.ctx, seed))
+		if !reflect.DeepEqual(got, want) {
+			t.Logf("seed %d p %d diverged:\n got %v\n want %v", seed, pRaw, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type staticAll struct{ n int }
+
+func (s staticAll) Scheme(string) (dag.SchemeSpec, bool) {
+	return dag.SchemeSpec{Scheme: rdd.SchemeHash, NumPartitions: s.n, Override: true}, true
+}
+func (s staticAll) Refresh() {}

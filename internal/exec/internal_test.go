@@ -1,0 +1,173 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"chopper/internal/cluster"
+	"chopper/internal/metrics"
+	"chopper/internal/rdd"
+)
+
+func testEngine() *Engine {
+	ctx := rdd.NewContext(8)
+	col := metrics.NewCollector("t", "t")
+	return New(cluster.PaperCluster(), cluster.DefaultCostParams(), ctx, col, true)
+}
+
+func TestPinNodeDeterministicAndBalanced(t *testing.T) {
+	e := testEngine()
+	counts := map[string]int{}
+	for split := 0; split < 1120; split++ {
+		n1 := e.pinNode(split)
+		n2 := e.pinNode(split)
+		if n1 != n2 {
+			t.Fatalf("pinNode not deterministic for split %d", split)
+		}
+		counts[n1]++
+	}
+	// Core-weighted: 32-core nodes get ~4x the splits of 8-core nodes.
+	if counts["A"] < 2*counts["D"] {
+		t.Fatalf("pinning should weight by cores: %v", counts)
+	}
+	for _, w := range []string{"A", "B", "C", "D", "E"} {
+		if counts[w] == 0 {
+			t.Fatalf("node %s never pinned: %v", w, counts)
+		}
+	}
+}
+
+func TestPinNodeAfterFailure(t *testing.T) {
+	e := testEngine()
+	if err := e.KillNode("A"); err != nil {
+		t.Fatal(err)
+	}
+	for split := 0; split < 200; split++ {
+		if e.pinNode(split) == "A" {
+			t.Fatalf("dead node must not be pinned")
+		}
+	}
+}
+
+func TestBottleneckPeerPrefersSlowLink(t *testing.T) {
+	e := testEngine()
+	fast := e.Topo.Node("A")
+	peer := e.bottleneckPeer(fast)
+	if peer.LinkGbps != 1 {
+		t.Fatalf("bottleneck peer should be a 1 Gbps node, got %+v", peer)
+	}
+	if peer.Name == fast.Name {
+		t.Fatalf("peer must differ from the node itself")
+	}
+}
+
+func TestTaskDurationComponents(t *testing.T) {
+	e := testEngine()
+	nodeA := e.Topo.Node("A")
+	base := &task{cost: 1e9} // 1 logical GB of factor-1 compute
+	d0 := e.taskDuration(base, nodeA)
+	wantCompute := e.Params.ComputeSec(1e9, 1, nodeA)
+	if math.Abs(d0-(e.Params.TaskFixedSec+wantCompute)) > 1e-9 {
+		t.Fatalf("pure-compute duration wrong: %v", d0)
+	}
+
+	// Local source read adds disk time; remote adds network too.
+	local := &task{srcBytes: 1e9, srcNodes: []string{"A"}}
+	remote := &task{srcBytes: 1e9, srcNodes: []string{"B"}}
+	dl, dr := e.taskDuration(local, nodeA), e.taskDuration(remote, nodeA)
+	if dr <= dl {
+		t.Fatalf("remote source read must cost more: %v vs %v", dr, dl)
+	}
+
+	// Cached reads: local memory beats remote network.
+	cl := &task{cacheBy: map[string]int64{"A": 1e9}}
+	cr := &task{cacheBy: map[string]int64{"B": 1e9}}
+	if e.taskDuration(cr, nodeA) <= e.taskDuration(cl, nodeA) {
+		t.Fatalf("remote cache read must cost more")
+	}
+
+	// Shuffle reads: local disk beats remote network over 1 Gbps.
+	sl := &task{shufBy: map[string]int64{"A": 1e9}}
+	sr := &task{shufBy: map[string]int64{"D": 1e9}}
+	if e.taskDuration(sr, nodeA) <= e.taskDuration(sl, nodeA) {
+		t.Fatalf("remote shuffle read must cost more")
+	}
+
+	// Memory pressure multiplies compute.
+	pressured := &task{cost: 1e9, srcBytes: int64(4 * e.Params.MemPressureBytes), srcNodes: []string{"A"}}
+	dp := e.taskDuration(pressured, nodeA)
+	unpressured := &task{cost: 1e9, srcBytes: 1, srcNodes: []string{"A"}}
+	du := e.taskDuration(unpressured, nodeA)
+	if dp <= du {
+		t.Fatalf("memory pressure should slow the task: %v vs %v", dp, du)
+	}
+
+	// Shuffle writes add disk-write time.
+	writer := &task{writeB: 1e9}
+	if e.taskDuration(writer, nodeA) <= e.Params.TaskFixedSec {
+		t.Fatalf("shuffle write should cost time")
+	}
+}
+
+func TestKillNodeGuards(t *testing.T) {
+	e := testEngine()
+	for _, n := range []string{"A", "B", "C", "D"} {
+		if err := e.KillNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.KillNode("E"); err == nil {
+		t.Fatalf("killing the last worker must fail")
+	}
+	if err := e.KillNode("nope"); err == nil {
+		t.Fatalf("unknown worker must fail")
+	}
+	if got := e.AliveWorkers(); len(got) != 1 || got[0] != "E" {
+		t.Fatalf("alive workers wrong: %v", got)
+	}
+}
+
+func TestEnsureSourceRegistersOnce(t *testing.T) {
+	e := testEngine()
+	r := e.Ctx.Generate("g", 4, 1<<30, func(split, total int) []rdd.Row { return nil })
+	f1 := e.ensureSource(r)
+	f2 := e.ensureSource(r)
+	if f1 != f2 {
+		t.Fatalf("source should register once: %q vs %q", f1, f2)
+	}
+	if e.Blocks.File(f1) == nil {
+		t.Fatalf("block layout missing")
+	}
+	if e.Blocks.SplitBytes(f1, 0, 4) <= 0 {
+		t.Fatalf("split bytes should be positive")
+	}
+}
+
+func TestAcctMemoization(t *testing.T) {
+	e := testEngine()
+	calls := 0
+	src := e.Ctx.Generate("memo", 2, 1000, func(split, total int) []rdd.Row {
+		calls++
+		return []rdd.Row{rdd.Pair{K: split, V: 1.0}}
+	})
+	// Within one task accountant, re-reading the same partition (as a
+	// diamond dependency would) must not recompute it.
+	a := newAcct()
+	if _, _, err := e.materialize(src, 0, a); err != nil {
+		t.Fatal(err)
+	}
+	first := calls
+	if _, _, err := e.materialize(src, 0, a); err != nil {
+		t.Fatal(err)
+	}
+	if calls != first {
+		t.Fatalf("memo should prevent recomputation within a task: %d -> %d", first, calls)
+	}
+	// A fresh accountant recomputes (uncached RDD).
+	if _, _, err := e.materialize(src, 0, newAcct()); err != nil {
+		t.Fatal(err)
+	}
+	if calls == first {
+		t.Fatalf("fresh task should recompute an uncached partition")
+	}
+}

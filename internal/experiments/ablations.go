@@ -1,0 +1,395 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chopper/internal/cluster"
+	"chopper/internal/config"
+	"chopper/internal/core"
+	"chopper/internal/model"
+	"chopper/internal/rdd"
+	"chopper/internal/workloads"
+)
+
+// RunAblations executes the design-choice ablations listed in DESIGN.md and
+// returns one table per ablation.
+func RunAblations(quick bool) ([]Table, error) {
+	global, err := AblationGlobalVsPerStage(quick)
+	if err != nil {
+		return nil, err
+	}
+	gamma, err := AblationGammaSensitivity(quick)
+	if err != nil {
+		return nil, err
+	}
+	part, err := AblationPartitionerChoice(quick)
+	if err != nil {
+		return nil, err
+	}
+	feat, err := AblationModelFeatures(quick)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := AblationSpeculationVsPartitioning(quick)
+	if err != nil {
+		return nil, err
+	}
+	het, err := AblationHeterogeneity(quick)
+	if err != nil {
+		return nil, err
+	}
+	return []Table{global, gamma, part, feat, spec, het}, nil
+}
+
+// configFromSchemes converts optimizer output into a configuration file.
+func configFromSchemes(workload string, schemes []core.StageScheme) *config.File {
+	f := &config.File{Workload: workload}
+	for _, s := range schemes {
+		f.Set(config.Entry{
+			Signature:         s.Signature,
+			Scheme:            s.Partitioner,
+			NumPartitions:     s.NumPartitions,
+			InsertRepartition: s.InsertRepartition,
+		})
+	}
+	return f
+}
+
+// runWithConfig executes a workload under a given configuration + scheduler
+// mode and reports the total simulated time.
+func runWithConfig(w workloads.Workload, bytes int64, cf *config.File, coPart bool, mode string) (float64, error) {
+	opt := Options{Mode: mode, CoPartition: coPart}
+	if cf != nil {
+		opt.Configurator = &config.Static{F: cf}
+	}
+	rt, _, err := RunWorkload(w, bytes, opt)
+	if err != nil {
+		return 0, err
+	}
+	return rt.Col.TotalTime(), nil
+}
+
+// AblationGlobalVsPerStage compares Algorithm 2 (per-stage optima) against
+// Algorithm 3 (global, DAG-regrouped) on the join-heavy SQL workload.
+func AblationGlobalVsPerStage(quick bool) (Table, error) {
+	_, _, s := evalWorkloads(quick)
+	bytes := s.DefaultInputBytes()
+	db := core.NewDB()
+	if err := Profile(db, s, bytes, evalPlan(quick), Options{}); err != nil {
+		return Table{}, err
+	}
+	o := core.NewOptimizer(db)
+
+	vanilla, err := runWithConfig(s, bytes, nil, false, "spark")
+	if err != nil {
+		return Table{}, err
+	}
+	perStage, err := o.GetWorkloadPar(s.Name(), float64(bytes))
+	if err != nil {
+		return Table{}, err
+	}
+	tPer, err := runWithConfig(s, bytes, configFromSchemes(s.Name(), perStage), true, "alg2")
+	if err != nil {
+		return Table{}, err
+	}
+	global, err := o.GetGlobalPar(s.Name(), float64(bytes))
+	if err != nil {
+		return Table{}, err
+	}
+	tGlobal, err := runWithConfig(s, bytes, configFromSchemes(s.Name(), global), true, "alg3")
+	if err != nil {
+		return Table{}, err
+	}
+
+	return Table{
+		Title:  "Ablation — per-stage (Alg. 2) vs global (Alg. 3) optimization, SQL",
+		Header: []string{"configuration", "time(s)", "vs vanilla"},
+		Rows: [][]string{
+			{"vanilla (300, hash)", f1(vanilla), "-"},
+			{"Alg. 2 per-stage", f1(tPer), fpct((vanilla - tPer) / vanilla * 100)},
+			{"Alg. 3 global", f1(tGlobal), fpct((vanilla - tGlobal) / vanilla * 100)},
+		},
+	}, nil
+}
+
+// fixedJoin is a workload whose aggregation is user-pinned to a bad
+// partition count — the scenario Algorithm 3's repartition insertion (and
+// its gamma gate) exists for.
+type fixedJoin struct {
+	inner  *workloads.SQL
+	fixedP int
+}
+
+func (f *fixedJoin) Name() string             { return "fixedsql" }
+func (f *fixedJoin) DefaultInputBytes() int64 { return f.inner.DefaultInputBytes() }
+
+func (f *fixedJoin) Run(ctx *rdd.Context, inputBytes int64) (workloads.Result, error) {
+	// Reuse the SQL generator but pin the aggregation partitioning. The
+	// whole pipeline is one job: the user-fixed aggregation directly feeds
+	// a compute-heavy narrow stage whose task count it determines — the
+	// paper's motivating scenario for inserting a repartition phase.
+	s := f.inner
+	physTotal := int64(s.Orders)*40 + int64(s.Customers)*32
+	ctx.LogicalScale = float64(inputBytes) / float64(physTotal)
+
+	orders := ctx.Generate("ordersFixed", 0, inputBytes, func(split, total int) []rdd.Row {
+		var rows []rdd.Row
+		for i := split; i < s.Orders; i += total {
+			cust := workloads.ZipfIndexForTest(s.Seed, int64(i), s.Customers)
+			rows = append(rows, rdd.Pair{K: cust, V: 1.0})
+		}
+		return rows
+	})
+	agg := orders.ReduceByKeyPart(func(a, b any) any {
+		return a.(float64) + b.(float64)
+	}, rdd.NewHashPartitioner(f.fixedP))
+	heavy := agg.MapCost("heavyPost", 6.0, func(r rdd.Row) rdd.Row { return r })
+	n, err := heavy.Count()
+	if err != nil {
+		return workloads.Result{}, err
+	}
+	return workloads.Result{Checksum: float64(n)}, nil
+}
+
+// AblationGammaSensitivity sweeps the repartition benefit factor.
+func AblationGammaSensitivity(quick bool) (Table, error) {
+	inner := workloads.NewSQL()
+	if quick {
+		inner.Orders = 6000
+		inner.Customers = 400
+	}
+	w := &fixedJoin{inner: inner, fixedP: 8} // badly pinned
+	bytes := w.DefaultInputBytes()
+	db := core.NewDB()
+	if err := Profile(db, w, bytes, evalPlan(quick), Options{}); err != nil {
+		return Table{}, err
+	}
+	vanilla, err := runWithConfig(w, bytes, nil, false, "spark")
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		Title:  "Ablation — repartition benefit factor gamma (fixed-partitioning SQL)",
+		Header: []string{"gamma", "repartition inserted", "time(s)", "vs vanilla"},
+	}
+	for _, gamma := range []float64{1.0, 1.5, 3.0, 10.0} {
+		o := core.NewOptimizer(db)
+		o.Gamma = gamma
+		schemes, err := o.GetGlobalPar(w.Name(), float64(bytes))
+		if err != nil {
+			return Table{}, err
+		}
+		inserted := false
+		for _, s := range schemes {
+			if s.InsertRepartition {
+				inserted = true
+			}
+		}
+		tt, err := runWithConfig(w, bytes, configFromSchemes(w.Name(), schemes), true, fmt.Sprintf("gamma%.1f", gamma))
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", gamma),
+			fmt.Sprintf("%v", inserted),
+			f1(tt),
+			fpct((vanilla - tt) / vanilla * 100),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"(vanilla)", "-", f1(vanilla), "-"})
+	return t, nil
+}
+
+// AblationPartitionerChoice compares hash-only, range-only and CHOPPER's
+// learned per-stage choice on the skewed SQL workload.
+func AblationPartitionerChoice(quick bool) (Table, error) {
+	_, _, s := evalWorkloads(quick)
+	bytes := s.DefaultInputBytes()
+	db := core.NewDB()
+	if err := Profile(db, s, bytes, evalPlan(quick), Options{}); err != nil {
+		return Table{}, err
+	}
+	o := core.NewOptimizer(db)
+	free, err := o.GetGlobalPar(s.Name(), float64(bytes))
+	if err != nil {
+		return Table{}, err
+	}
+
+	force := func(scheme rdd.SchemeName) *config.File {
+		f := configFromSchemes(s.Name(), free)
+		for i := range f.Entries {
+			f.Entries[i].Scheme = scheme
+		}
+		return f
+	}
+	tHash, err := runWithConfig(s, bytes, force(rdd.SchemeHash), true, "hash-only")
+	if err != nil {
+		return Table{}, err
+	}
+	tRange, err := runWithConfig(s, bytes, force(rdd.SchemeRange), true, "range-only")
+	if err != nil {
+		return Table{}, err
+	}
+	tFree, err := runWithConfig(s, bytes, configFromSchemes(s.Name(), free), true, "chopper")
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title:  "Ablation — partitioner choice under key skew (SQL)",
+		Header: []string{"partitioners", "time(s)"},
+		Rows: [][]string{
+			{"hash only", f1(tHash)},
+			{"range only", f1(tRange)},
+			{"chopper per-stage choice", f1(tFree)},
+		},
+	}, nil
+}
+
+// AblationModelFeatures compares the paper's full basis with a linear-only
+// basis: configurations generated by each are executed and timed.
+func AblationModelFeatures(quick bool) (Table, error) {
+	k := quickKMeans(quick)
+	bytes := k.DefaultInputBytes()
+	db := core.NewDB()
+	if err := Profile(db, k, bytes, evalPlan(quick), Options{}); err != nil {
+		return Table{}, err
+	}
+	run := func(set model.FeatureSet) (float64, error) {
+		o := core.NewOptimizer(db)
+		o.Features = set
+		schemes, err := o.GetGlobalPar(k.Name(), float64(bytes))
+		if err != nil {
+			return 0, err
+		}
+		return runWithConfig(k, bytes, configFromSchemes(k.Name(), schemes), true, set.String())
+	}
+	tFull, err := run(model.FullFeatures)
+	if err != nil {
+		return Table{}, err
+	}
+	tLin, err := run(model.LinearFeatures)
+	if err != nil {
+		return Table{}, err
+	}
+	vanilla, err := runWithConfig(k, bytes, nil, false, "spark")
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title:  "Ablation — model basis (KMeans)",
+		Header: []string{"basis", "time(s)", "vs vanilla"},
+		Rows: [][]string{
+			{"full (Eq. 1-2)", f1(tFull), fpct((vanilla - tFull) / vanilla * 100)},
+			{"linear only", f1(tLin), fpct((vanilla - tLin) / vanilla * 100)},
+			{"(vanilla)", f1(vanilla), "-"},
+		},
+	}, nil
+}
+
+// AblationSpeculationVsPartitioning contrasts reactive straggler mitigation
+// (speculative execution) with CHOPPER's proactive partitioning on the
+// skewed SQL workload: backups cannot shrink a hot partition, so the
+// partitioning fix should dominate.
+func AblationSpeculationVsPartitioning(quick bool) (Table, error) {
+	_, _, s := evalWorkloads(quick)
+	bytes := s.DefaultInputBytes()
+	trained, err := Train(s, bytes, evalPlan(quick), Options{})
+	if err != nil {
+		return Table{}, err
+	}
+
+	run := func(mode string, speculate, tuned bool) (float64, error) {
+		opt := Options{Mode: mode}
+		if tuned {
+			opt.CoPartition = true
+			opt.Configurator = &config.Static{F: trained.Config}
+		}
+		rt := NewRuntime(s.Name(), opt)
+		rt.Eng.Speculate = speculate
+		if _, err := s.Run(rt.Ctx, bytes); err != nil {
+			return 0, err
+		}
+		return rt.Col.TotalTime(), nil
+	}
+	vanilla, err := run("spark", false, false)
+	if err != nil {
+		return Table{}, err
+	}
+	spec, err := run("spark+speculation", true, false)
+	if err != nil {
+		return Table{}, err
+	}
+	tuned, err := run("chopper", false, true)
+	if err != nil {
+		return Table{}, err
+	}
+	both, err := run("chopper+speculation", true, true)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  "Ablation — reactive (speculation) vs proactive (CHOPPER) skew handling, SQL",
+		Header: []string{"configuration", "time(s)", "vs vanilla"},
+	}
+	for _, row := range []struct {
+		name string
+		v    float64
+	}{
+		{"vanilla", vanilla},
+		{"vanilla + speculation", spec},
+		{"chopper", tuned},
+		{"chopper + speculation", both},
+	} {
+		t.Rows = append(t.Rows, []string{row.name, f1(row.v), fpct((vanilla - row.v) / vanilla * 100)})
+	}
+	return t, nil
+}
+
+// AblationHeterogeneity compares CHOPPER's gain on the paper's heterogeneous
+// cluster against an equal-capacity homogeneous one (4 x 28 cores @ 2 GHz):
+// the paper notes CHOPPER accounts for cluster heterogeneity.
+func AblationHeterogeneity(quick bool) (Table, error) {
+	k, _, _ := evalWorkloads(quick)
+	bytes := k.DefaultInputBytes()
+
+	measure := func(topo *cluster.Topology) (float64, float64, error) {
+		opt := Options{Topo: topo}
+		trained, err := Train(k, bytes, evalPlan(quick), opt)
+		if err != nil {
+			return 0, 0, err
+		}
+		sparkOpt := opt
+		sparkOpt.Mode = "spark"
+		spark, _, err := RunWorkload(k, bytes, sparkOpt)
+		if err != nil {
+			return 0, 0, err
+		}
+		tunedOpt := opt
+		tunedOpt.Mode = "chopper"
+		tunedOpt.CoPartition = true
+		tunedOpt.Configurator = &config.Static{F: trained.Config}
+		tuned, _, err := RunWorkload(k, bytes, tunedOpt)
+		if err != nil {
+			return 0, 0, err
+		}
+		return spark.Col.TotalTime(), tuned.Col.TotalTime(), nil
+	}
+
+	hs, hc, err := measure(cluster.PaperCluster())
+	if err != nil {
+		return Table{}, err
+	}
+	us, uc, err := measure(cluster.UniformCluster(4, 28, 2.0))
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title:  "Ablation — heterogeneous (paper) vs homogeneous cluster, KMeans",
+		Header: []string{"cluster", "spark(s)", "chopper(s)", "improvement"},
+		Rows: [][]string{
+			{"heterogeneous 3x32@2.0 + 2x8@2.3", f1(hs), f1(hc), fpct((hs - hc) / hs * 100)},
+			{"homogeneous 4x28@2.0", f1(us), f1(uc), fpct((us - uc) / us * 100)},
+		},
+	}, nil
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chopper/internal/config"
+	"chopper/internal/core"
+	"chopper/internal/dag"
+	"chopper/internal/rdd"
+	"chopper/internal/workloads"
+)
+
+// ProfilePlan describes CHOPPER's lightweight test runs for one workload:
+// a default run (the normalization reference) plus sweeps over partition
+// counts, schemes and sampled input sizes (paper Section III-B).
+type ProfilePlan struct {
+	SizeFractions []float64
+	Partitions    []int
+	Schemes       []rdd.SchemeName
+}
+
+// DefaultProfilePlan returns the standard test-run grid.
+func DefaultProfilePlan() ProfilePlan {
+	return ProfilePlan{
+		SizeFractions: []float64{0.4, 0.7, 1.0},
+		Partitions:    []int{150, 300, 450, 600, 900},
+		Schemes:       []rdd.SchemeName{rdd.SchemeHash, rdd.SchemeRange},
+	}
+}
+
+// RunCount reports how many test runs the plan performs (plus one default).
+func (p ProfilePlan) RunCount() int {
+	return 1 + len(p.SizeFractions)*len(p.Partitions)*len(p.Schemes)
+}
+
+// Profile executes the plan for a workload, filling db with observations.
+func Profile(db *core.DB, w workloads.Workload, targetBytes int64, plan ProfilePlan, opt Options) error {
+	opt = opt.withDefaults()
+
+	// Default run: the vanilla configuration is the cost reference.
+	defOpt := opt
+	defOpt.Configurator = nil
+	defOpt.CoPartition = false
+	rt, _, err := RunWorkload(w, targetBytes, defOpt)
+	if err != nil {
+		return fmt.Errorf("experiments: default profile run: %w", err)
+	}
+	rt.Rec.Harvest(db, w.Name(), float64(targetBytes), rt.Col, true)
+
+	for _, frac := range plan.SizeFractions {
+		bytes := int64(frac * float64(targetBytes))
+		for _, scheme := range plan.Schemes {
+			for _, p := range plan.Partitions {
+				runOpt := opt
+				runOpt.CoPartition = false
+				runOpt.Configurator = &core.ForceAll{Spec: dag.SchemeSpec{Scheme: scheme, NumPartitions: p}}
+				rt, _, err := RunWorkload(w, bytes, runOpt)
+				if err != nil {
+					return fmt.Errorf("experiments: profile run (%s,%d,%.1f): %w", scheme, p, frac, err)
+				}
+				rt.Rec.Harvest(db, w.Name(), float64(bytes), rt.Col, false)
+			}
+		}
+	}
+	return nil
+}
+
+// TrainedChopper is a ready-to-run CHOPPER for one workload.
+type TrainedChopper struct {
+	DB     *core.DB
+	Opt    *core.Optimizer
+	Config *config.File
+}
+
+// Train profiles the workload and generates its configuration file —
+// the full CHOPPER pipeline up to (but not including) the optimized run.
+// Model training happens offline, outside any measured run.
+func Train(w workloads.Workload, targetBytes int64, plan ProfilePlan, opt Options) (*TrainedChopper, error) {
+	db := core.NewDB()
+	if err := Profile(db, w, targetBytes, plan, opt); err != nil {
+		return nil, err
+	}
+	optimizer := core.NewOptimizer(db)
+	optimizer.DefaultParallelism = opt.withDefaults().DefaultParallelism
+	cf, err := optimizer.GenerateConfig(w.Name(), float64(targetBytes))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate config: %w", err)
+	}
+	return &TrainedChopper{DB: db, Opt: optimizer, Config: cf}, nil
+}
+
+// Compared holds a vanilla-vs-CHOPPER pair of runs on one workload.
+type Compared struct {
+	Workload string
+	Spark    *Runtime
+	Chopper  *Runtime
+	Trained  *TrainedChopper
+}
+
+// Improvement reports the relative execution-time gain of CHOPPER.
+func (c Compared) Improvement() float64 {
+	s, ch := c.Spark.Col.TotalTime(), c.Chopper.Col.TotalTime()
+	if s <= 0 {
+		return 0
+	}
+	return (s - ch) / s * 100
+}
+
+// Compare trains CHOPPER for a workload and executes both systems at the
+// given input size. The chopper run uses the generated configuration plus
+// the co-partition-aware scheduler.
+func Compare(w workloads.Workload, inputBytes int64, plan ProfilePlan, opt Options) (Compared, error) {
+	opt = opt.withDefaults()
+	trained, err := Train(w, inputBytes, plan, opt)
+	if err != nil {
+		return Compared{}, err
+	}
+
+	sparkOpt := opt
+	sparkOpt.Mode = "spark"
+	sparkOpt.CoPartition = false
+	sparkOpt.Configurator = nil
+	spark, _, err := RunWorkload(w, inputBytes, sparkOpt)
+	if err != nil {
+		return Compared{}, err
+	}
+
+	chopperOpt := opt
+	chopperOpt.Mode = "chopper"
+	chopperOpt.CoPartition = true
+	chopperOpt.Configurator = &config.Static{F: trained.Config}
+	chopper, _, err := RunWorkload(w, inputBytes, chopperOpt)
+	if err != nil {
+		return Compared{}, err
+	}
+	return Compared{Workload: w.Name(), Spark: spark, Chopper: chopper, Trained: trained}, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chopper/internal/cluster"
+	"chopper/internal/config"
+)
+
+// SensitivityStudy checks that the reproduction's headline conclusion —
+// CHOPPER beats vanilla Spark — is robust to the calibrated cost constants
+// rather than an artifact of one parameter choice. Each scenario scales one
+// cost-model knob and re-runs the full train-and-compare pipeline on SQL.
+func SensitivityStudy(quick bool) (Table, error) {
+	base := cluster.DefaultCostParams()
+	scenarios := []struct {
+		name   string
+		mutate func(p cluster.CostParams) cluster.CostParams
+	}{
+		{"calibrated (baseline)", func(p cluster.CostParams) cluster.CostParams { return p }},
+		{"compute x0.5", func(p cluster.CostParams) cluster.CostParams {
+			p.ComputeSecPerGBPerGHz *= 0.5
+			return p
+		}},
+		{"compute x2", func(p cluster.CostParams) cluster.CostParams {
+			p.ComputeSecPerGBPerGHz *= 2
+			return p
+		}},
+		{"task overhead x0.5", func(p cluster.CostParams) cluster.CostParams {
+			p.TaskFixedSec *= 0.5
+			return p
+		}},
+		{"task overhead x2", func(p cluster.CostParams) cluster.CostParams {
+			p.TaskFixedSec *= 2
+			return p
+		}},
+		{"mem pressure off", func(p cluster.CostParams) cluster.CostParams {
+			p.MemPressureFactor = 0
+			return p
+		}},
+		{"net x0.5", func(p cluster.CostParams) cluster.CostParams {
+			p.NetEfficiency *= 0.5
+			return p
+		}},
+	}
+
+	_, _, s := evalWorkloads(quick)
+	bytes := s.DefaultInputBytes()
+	t := Table{
+		Title:  "Extension — cost-model sensitivity (SQL, full pipeline per scenario)",
+		Header: []string{"scenario", "spark(s)", "chopper(s)", "improvement"},
+	}
+	for _, sc := range scenarios {
+		params := sc.mutate(base)
+		opt := Options{Params: params}
+		trained, err := Train(s, bytes, evalPlan(quick), opt)
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: sensitivity %q: %w", sc.name, err)
+		}
+		sparkOpt := opt
+		sparkOpt.Mode = "spark"
+		spark, _, err := RunWorkload(s, bytes, sparkOpt)
+		if err != nil {
+			return Table{}, err
+		}
+		tunedOpt := opt
+		tunedOpt.Mode = "chopper"
+		tunedOpt.CoPartition = true
+		tunedOpt.Configurator = &config.Static{F: trained.Config}
+		tuned, _, err := RunWorkload(s, bytes, tunedOpt)
+		if err != nil {
+			return Table{}, err
+		}
+		sv, tv := spark.Col.TotalTime(), tuned.Col.TotalTime()
+		t.Rows = append(t.Rows, []string{sc.name, f1(sv), f1(tv), fpct((sv - tv) / sv * 100)})
+	}
+	return t, nil
+}

@@ -1,0 +1,410 @@
+// Package metrics is the statistics collector of the reproduction: it
+// gathers per-task and per-stage execution records from the engine (the
+// data CHOPPER's workload DB trains on) and reconstructs cluster-utilization
+// timelines — CPU %, memory %, packets/s, disk transactions/s — matching the
+// paper's Figs. 11-14.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"chopper/internal/cluster"
+	"chopper/internal/simclock"
+)
+
+// TaskMetric records one executed task.
+type TaskMetric struct {
+	StageID int
+	TaskID  int
+	Node    string
+	Start   float64
+	End     float64
+
+	InputBytes        int64 // logical bytes read from source or cache
+	ShuffleReadLocal  int64
+	ShuffleReadRemote int64
+	ShuffleWrite      int64
+	Records           int64
+}
+
+// Duration reports the simulated task time.
+func (t TaskMetric) Duration() float64 { return t.End - t.Start }
+
+// StageMetric aggregates one executed stage.
+type StageMetric struct {
+	ID          int
+	Signature   string
+	Name        string
+	Partitioner string
+	NumTasks    int
+	Start       float64
+	End         float64
+
+	InputBytes   int64
+	ShuffleRead  int64 // local + remote, overhead included
+	ShuffleWrite int64
+	Tasks        []TaskMetric
+}
+
+// Duration reports the simulated stage time.
+func (s *StageMetric) Duration() float64 { return s.End - s.Start }
+
+// MaxShuffle reports max(read, write) — the paper's per-stage "shuffle data".
+func (s *StageMetric) MaxShuffle() int64 {
+	if s.ShuffleRead > s.ShuffleWrite {
+		return s.ShuffleRead
+	}
+	return s.ShuffleWrite
+}
+
+// TaskTimeStats reports min, max and mean task duration — the skew signal.
+func (s *StageMetric) TaskTimeStats() (min, max, mean float64) {
+	if len(s.Tasks) == 0 {
+		return 0, 0, 0
+	}
+	min = math.Inf(1)
+	for _, t := range s.Tasks {
+		d := t.Duration()
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		mean += d
+	}
+	mean /= float64(len(s.Tasks))
+	return min, max, mean
+}
+
+// stepEvent is a change in a step-function series (e.g. cached bytes).
+type stepEvent struct {
+	t     float64
+	delta float64
+}
+
+// Collector accumulates everything a run produces.
+type Collector struct {
+	mu sync.Mutex
+
+	Workload string
+	Mode     string // "spark" or "chopper"
+
+	stages []*StageMetric
+	open   map[int]*StageMetric
+
+	cpu       simclock.Recorder             // weight: busy cores
+	cpuByNode map[string]*simclock.Recorder // per-node busy cores
+	work      simclock.Recorder             // weight: per-task working-set bytes
+	net       simclock.Recorder             // weight: packets (tx+rx)
+	disk      simclock.Recorder             // weight: transactions
+
+	memEvents []stepEvent // cached-bytes deltas
+
+	end float64
+}
+
+// NewCollector creates an empty collector for one run.
+func NewCollector(workload, mode string) *Collector {
+	return &Collector{
+		Workload: workload, Mode: mode,
+		open:      map[int]*StageMetric{},
+		cpuByNode: map[string]*simclock.Recorder{},
+	}
+}
+
+// BeginStage opens a stage record.
+func (c *Collector) BeginStage(id int, sig, name, partitioner string, numTasks int, start float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.open[id]; dup {
+		panic(fmt.Sprintf("metrics: stage %d already open", id))
+	}
+	st := &StageMetric{
+		ID: id, Signature: sig, Name: name, Partitioner: partitioner,
+		NumTasks: numTasks, Start: start,
+	}
+	c.open[id] = st
+	c.stages = append(c.stages, st)
+}
+
+// EndStage closes a stage record.
+func (c *Collector) EndStage(id int, end float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.open[id]
+	if !ok {
+		panic(fmt.Sprintf("metrics: ending unknown stage %d", id))
+	}
+	st.End = end
+	delete(c.open, id)
+	if end > c.end {
+		c.end = end
+	}
+}
+
+// AddTask records a finished task into its open stage and updates the
+// resource timelines.
+func (c *Collector) AddTask(tm TaskMetric, params cluster.CostParams) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.open[tm.StageID]
+	if !ok {
+		panic(fmt.Sprintf("metrics: task for unknown stage %d", tm.StageID))
+	}
+	st.Tasks = append(st.Tasks, tm)
+	st.InputBytes += tm.InputBytes
+	st.ShuffleRead += tm.ShuffleReadLocal + tm.ShuffleReadRemote
+	st.ShuffleWrite += tm.ShuffleWrite
+
+	c.cpu.Add(tm.Start, tm.End, 1)
+	rec, ok := c.cpuByNode[tm.Node]
+	if !ok {
+		rec = &simclock.Recorder{}
+		c.cpuByNode[tm.Node] = rec
+	}
+	rec.Add(tm.Start, tm.End, 1)
+	if ws := float64(tm.InputBytes + tm.ShuffleReadLocal + tm.ShuffleReadRemote); ws > 0 {
+		c.work.Add(tm.Start, tm.End, ws)
+	}
+	if tm.ShuffleReadRemote > 0 {
+		// Remote fetches cross the network twice in interface counters
+		// (transmit on the source, receive on the reader).
+		pk := 2 * float64(tm.ShuffleReadRemote) / params.PacketBytes
+		c.net.Add(tm.Start, tm.End, pk)
+	}
+	diskBytes := float64(tm.InputBytes+tm.ShuffleWrite) + float64(tm.ShuffleReadLocal)
+	if diskBytes > 0 {
+		c.disk.Add(tm.Start, tm.End, diskBytes/params.DiskTransactionBytes)
+	}
+}
+
+// MemDelta records a change in resident cached bytes at time t (positive on
+// cache put, negative on eviction).
+func (c *Collector) MemDelta(t, deltaBytes float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.memEvents = append(c.memEvents, stepEvent{t: t, delta: deltaBytes})
+	if t > c.end {
+		c.end = t
+	}
+}
+
+// Stages returns the recorded stages in execution order.
+func (c *Collector) Stages() []*StageMetric {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*StageMetric, len(c.stages))
+	copy(out, c.stages)
+	return out
+}
+
+// StageByID finds a stage record.
+func (c *Collector) StageByID(id int) *StageMetric {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.stages {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// TotalTime reports the simulated end time of the run.
+func (c *Collector) TotalTime() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.end
+}
+
+// TotalShuffle reports run-wide shuffle read and write bytes.
+func (c *Collector) TotalShuffle() (read, write int64) {
+	for _, s := range c.Stages() {
+		read += s.ShuffleRead
+		write += s.ShuffleWrite
+	}
+	return read, write
+}
+
+// Series is a sampled utilization timeline.
+type Series struct {
+	Step   float64
+	Values []float64
+}
+
+// Times returns the sample timestamps.
+func (s Series) Times() []float64 {
+	out := make([]float64, len(s.Values))
+	for i := range out {
+		out[i] = float64(i) * s.Step
+	}
+	return out
+}
+
+// Mean returns the average of the series values.
+func (s Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Max returns the maximum series value.
+func (s Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (c *Collector) horizon() float64 {
+	h := c.TotalTime()
+	if h <= 0 {
+		h = 1
+	}
+	return h
+}
+
+// CPUSeries reports cluster-average CPU utilization percent per step bucket
+// (busy worker cores over total worker cores), cf. paper Fig. 11.
+func (c *Collector) CPUSeries(topo *cluster.Topology, step float64) Series {
+	total := float64(topo.TotalWorkerCores())
+	vals := c.cpu.BucketMean(c.horizon(), step)
+	for i := range vals {
+		vals[i] = 100 * vals[i] / total
+	}
+	return Series{Step: step, Values: vals}
+}
+
+// CPUSeriesByNode reports each worker's CPU utilization percent per bucket,
+// exposing the load imbalance the cluster-average of Fig. 11 hides.
+func (c *Collector) CPUSeriesByNode(topo *cluster.Topology, step float64) map[string]Series {
+	h := c.horizon()
+	out := map[string]Series{}
+	for _, n := range topo.Workers() {
+		c.mu.Lock()
+		rec := c.cpuByNode[n.Name]
+		c.mu.Unlock()
+		vals := make([]float64, int(math.Ceil(h/step)))
+		if rec != nil {
+			vals = rec.BucketMean(h, step)
+		}
+		for i := range vals {
+			vals[i] = 100 * vals[i] / float64(n.Cores)
+		}
+		out[n.Name] = Series{Step: step, Values: vals}
+	}
+	return out
+}
+
+// LoadImbalance reports max/mean busy core-seconds across workers (1.0 is
+// perfectly balanced).
+func (c *Collector) LoadImbalance(topo *cluster.Topology) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var loads []float64
+	for _, n := range topo.Workers() {
+		busy := 0.0
+		if rec := c.cpuByNode[n.Name]; rec != nil {
+			for _, iv := range rec.Sorted() {
+				busy += (iv.End - iv.Start) * iv.Weight / float64(n.Cores)
+			}
+		}
+		loads = append(loads, busy)
+	}
+	if len(loads) == 0 {
+		return 1
+	}
+	max, sum := 0.0, 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	mean := sum / float64(len(loads))
+	if mean == 0 {
+		return 1
+	}
+	return max / mean
+}
+
+// MemSeries reports cluster-average memory utilization percent per bucket:
+// a base executor footprint plus cached bytes plus active task working sets,
+// over total worker memory, cf. paper Fig. 12.
+func (c *Collector) MemSeries(topo *cluster.Topology, step float64, baseFraction float64) Series {
+	var totalMem float64
+	for _, n := range topo.Workers() {
+		totalMem += n.MemGB * 1e9
+	}
+	h := c.horizon()
+	vals := c.work.BucketMean(h, step)
+	cached := c.cachedSeries(h, step)
+	for i := range vals {
+		used := vals[i] + cached[i] + baseFraction*totalMem
+		vals[i] = 100 * used / totalMem
+		if vals[i] > 100 {
+			vals[i] = 100
+		}
+	}
+	return Series{Step: step, Values: vals}
+}
+
+// cachedSeries integrates mem events into a per-bucket mean byte level.
+func (c *Collector) cachedSeries(horizon, step float64) []float64 {
+	c.mu.Lock()
+	events := make([]stepEvent, len(c.memEvents))
+	copy(events, c.memEvents)
+	c.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].t < events[j].t })
+	n := int(math.Ceil(horizon / step))
+	out := make([]float64, n)
+	level := 0.0
+	idx := 0
+	for b := 0; b < n; b++ {
+		lo, hi := float64(b)*step, float64(b+1)*step
+		t := lo
+		area := 0.0
+		for idx < len(events) && events[idx].t < hi {
+			ev := events[idx]
+			if ev.t > t {
+				area += level * (ev.t - t)
+				t = ev.t
+			}
+			level += ev.delta
+			idx++
+		}
+		area += level * (hi - t)
+		out[b] = area / step
+	}
+	return out
+}
+
+// NetSeries reports total packets (tx+rx) per second per bucket, Fig. 13.
+func (c *Collector) NetSeries(step float64) Series {
+	vals := c.net.BucketSum(c.horizon(), step)
+	for i := range vals {
+		vals[i] /= step
+	}
+	return Series{Step: step, Values: vals}
+}
+
+// DiskSeries reports disk transactions per second per bucket, Fig. 14.
+func (c *Collector) DiskSeries(step float64) Series {
+	vals := c.disk.BucketSum(c.horizon(), step)
+	for i := range vals {
+		vals[i] /= step
+	}
+	return Series{Step: step, Values: vals}
+}

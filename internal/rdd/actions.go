@@ -1,0 +1,221 @@
+package rdd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNoRunner is returned when an action runs before a scheduler is attached.
+var ErrNoRunner = errors.New("rdd: context has no job runner attached")
+
+func (r *RDD) runJob(fn func(split int, rows []Row) (any, error)) ([]any, error) {
+	if r.Ctx.runner == nil {
+		return nil, ErrNoRunner
+	}
+	return r.Ctx.runner.RunJob(r, fn)
+}
+
+// Collect materializes every partition at the driver, in partition order.
+func (r *RDD) Collect() ([]Row, error) {
+	parts, err := r.runJob(func(_ int, rows []Row) (any, error) {
+		out := make([]Row, len(rows))
+		copy(out, rows)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []Row
+	for _, p := range parts {
+		all = append(all, p.([]Row)...)
+	}
+	return all, nil
+}
+
+// Count returns the number of rows.
+func (r *RDD) Count() (int64, error) {
+	parts, err := r.runJob(func(_ int, rows []Row) (any, error) {
+		return int64(len(rows)), nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, p := range parts {
+		n += p.(int64)
+	}
+	return n, nil
+}
+
+// Reduce folds all rows with f. Returns an error on an empty RDD.
+func (r *RDD) Reduce(f func(a, b Row) Row) (Row, error) {
+	parts, err := r.runJob(func(_ int, rows []Row) (any, error) {
+		if len(rows) == 0 {
+			return nil, nil
+		}
+		acc := rows[0]
+		for _, row := range rows[1:] {
+			acc = f(acc, row)
+		}
+		return acc, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var acc Row
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if acc == nil {
+			acc = p
+		} else {
+			acc = f(acc, p)
+		}
+	}
+	if acc == nil {
+		return nil, errors.New("rdd: reduce of empty RDD")
+	}
+	return acc, nil
+}
+
+// Take returns up to n rows in partition order. Like an eager Spark take
+// over a simulated cluster, it evaluates the full dataset.
+func (r *RDD) Take(n int) ([]Row, error) {
+	all, err := r.Collect()
+	if err != nil {
+		return nil, err
+	}
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all, nil
+}
+
+// First returns the first row.
+func (r *RDD) First() (Row, error) {
+	rows, err := r.Take(1)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("rdd: first on empty RDD")
+	}
+	return rows[0], nil
+}
+
+// CollectPairsMap collects a pair RDD into a key-value map at the driver.
+// Duplicate keys keep the last value in partition order.
+func (r *RDD) CollectPairsMap() (map[any]any, error) {
+	rows, err := r.Collect()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[any]any, len(rows))
+	for _, row := range rows {
+		p, ok := row.(Pair)
+		if !ok {
+			return nil, fmt.Errorf("rdd: CollectPairsMap on non-pair row %T", row)
+		}
+		m[p.K] = p.V
+	}
+	return m, nil
+}
+
+// CountByKey counts rows per key at the driver (no shuffle, like Spark's
+// countByKey which collects map-side counts).
+func (r *RDD) CountByKey() (map[any]int64, error) {
+	parts, err := r.runJob(func(_ int, rows []Row) (any, error) {
+		m := map[any]int64{}
+		for _, row := range rows {
+			p, ok := row.(Pair)
+			if !ok {
+				return nil, fmt.Errorf("rdd: CountByKey on non-pair row %T", row)
+			}
+			m[p.K]++
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[any]int64{}
+	for _, p := range parts {
+		for k, v := range p.(map[any]int64) {
+			out[k] += v
+		}
+	}
+	return out, nil
+}
+
+// TakeSample returns up to n rows sampled deterministically (driver-side
+// selection over a per-partition pre-sample, seeded by the context).
+func (r *RDD) TakeSample(n int) ([]Row, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	parts, err := r.runJob(func(split int, rows []Row) (any, error) {
+		// Deterministic stride sample of up to n rows per partition.
+		if len(rows) <= n {
+			out := make([]Row, len(rows))
+			copy(out, rows)
+			return out, nil
+		}
+		out := make([]Row, 0, n)
+		stride := len(rows) / n
+		for i := 0; i < n; i++ {
+			out = append(out, rows[i*stride])
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []Row
+	for _, p := range parts {
+		all = append(all, p.([]Row)...)
+	}
+	if len(all) > n {
+		stride := len(all) / n
+		picked := make([]Row, 0, n)
+		for i := 0; i < n; i++ {
+			picked = append(picked, all[i*stride])
+		}
+		all = picked
+	}
+	return all, nil
+}
+
+// SumFloat sums an RDD of float64 rows.
+func (r *RDD) SumFloat() (float64, error) {
+	parts, err := r.runJob(func(_ int, rows []Row) (any, error) {
+		s := 0.0
+		for _, row := range rows {
+			s += row.(float64)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for _, p := range parts {
+		s += p.(float64)
+	}
+	return s, nil
+}
+
+// SortedKeys collects and sorts the keys of a pair RDD (test helper action).
+func (r *RDD) SortedKeys() ([]any, error) {
+	rows, err := r.Collect()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]any, len(rows))
+	for i, row := range rows {
+		keys[i] = row.(Pair).K
+	}
+	sort.Slice(keys, func(i, j int) bool { return CompareKeys(keys[i], keys[j]) < 0 })
+	return keys, nil
+}

@@ -1,0 +1,268 @@
+package rdd
+
+import (
+	"math"
+	"sort"
+)
+
+// Optional is a value that may be absent — the result type of outer joins.
+type Optional struct {
+	Present bool
+	Value   any
+}
+
+// Some wraps a present value.
+func Some(v any) Optional { return Optional{Present: true, Value: v} }
+
+// None is the absent value.
+func None() Optional { return Optional{} }
+
+// LogicalBytes implements Sizer.
+func (o Optional) LogicalBytes() int64 {
+	if !o.Present {
+		return 8
+	}
+	return RowBytes(o.Value) + 8
+}
+
+// OuterJoined is the value type of outer joins: either side may be absent.
+type OuterJoined struct {
+	Left, Right Optional
+}
+
+// LogicalBytes implements Sizer.
+func (j OuterJoined) LogicalBytes() int64 { return j.Left.LogicalBytes() + j.Right.LogicalBytes() + 8 }
+
+// outerJoin is the shared engine of the three outer-join variants.
+func (r *RDD) outerJoin(o *RDD, p Partitioner, keepLeft, keepRight bool) *RDD {
+	cg := r.CoGroup(o, p)
+	name := "fullOuterJoin"
+	switch {
+	case keepLeft && !keepRight:
+		name = "leftOuterJoin"
+	case !keepLeft && keepRight:
+		name = "rightOuterJoin"
+	}
+	joined := cg.narrowChild(name, 1.2, func(split int, in [][]Row) []Row {
+		var out []Row
+		for _, row := range in[0] {
+			pr := row.(Pair)
+			sides := pr.V.([][]any)
+			ls, rs := sides[0], sides[1]
+			switch {
+			case len(ls) > 0 && len(rs) > 0:
+				for _, lv := range ls {
+					for _, rv := range rs {
+						out = append(out, Pair{K: pr.K, V: OuterJoined{Left: Some(lv), Right: Some(rv)}})
+					}
+				}
+			case len(ls) > 0 && keepLeft:
+				for _, lv := range ls {
+					out = append(out, Pair{K: pr.K, V: OuterJoined{Left: Some(lv), Right: None()}})
+				}
+			case len(rs) > 0 && keepRight:
+				for _, rv := range rs {
+					out = append(out, Pair{K: pr.K, V: OuterJoined{Left: None(), Right: Some(rv)}})
+				}
+			}
+		}
+		return out
+	})
+	joined.Part = cg.Part
+	return joined
+}
+
+// LeftOuterJoin keeps every left key; missing right values appear as None.
+func (r *RDD) LeftOuterJoin(o *RDD, p Partitioner) *RDD { return r.outerJoin(o, p, true, false) }
+
+// RightOuterJoin keeps every right key.
+func (r *RDD) RightOuterJoin(o *RDD, p Partitioner) *RDD { return r.outerJoin(o, p, false, true) }
+
+// FullOuterJoin keeps keys from both sides.
+func (r *RDD) FullOuterJoin(o *RDD, p Partitioner) *RDD { return r.outerJoin(o, p, true, true) }
+
+// SubtractByKey removes pairs whose key appears in o.
+func (r *RDD) SubtractByKey(o *RDD, p Partitioner) *RDD {
+	cg := r.CoGroup(o, p)
+	out := cg.narrowChild("subtractByKey", 0.8, func(split int, in [][]Row) []Row {
+		var rows []Row
+		for _, row := range in[0] {
+			pr := row.(Pair)
+			sides := pr.V.([][]any)
+			if len(sides[1]) > 0 {
+				continue
+			}
+			for _, lv := range sides[0] {
+				rows = append(rows, Pair{K: pr.K, V: lv})
+			}
+		}
+		return rows
+	})
+	out.Part = cg.Part
+	return out
+}
+
+// IntersectKeys keeps one pair per key present on both sides (left value).
+func (r *RDD) IntersectKeys(o *RDD, p Partitioner) *RDD {
+	cg := r.CoGroup(o, p)
+	out := cg.narrowChild("intersectKeys", 0.8, func(split int, in [][]Row) []Row {
+		var rows []Row
+		for _, row := range in[0] {
+			pr := row.(Pair)
+			sides := pr.V.([][]any)
+			if len(sides[0]) > 0 && len(sides[1]) > 0 {
+				rows = append(rows, Pair{K: pr.K, V: sides[0][0]})
+			}
+		}
+		return rows
+	})
+	out.Part = cg.Part
+	return out
+}
+
+// Glom collapses each partition into one row holding its rows ([]any).
+func (r *RDD) Glom() *RDD {
+	return r.MapPartitions("glom", 0.2, func(split int, rows []Row) []Row {
+		part := make([]any, len(rows))
+		copy(part, rows)
+		return []Row{part}
+	})
+}
+
+// ---------- numeric actions ----------
+
+// Stats summarizes an RDD of float64 rows.
+type Stats struct {
+	Count          int64
+	Sum, Min, Max  float64
+	Mean, Variance float64
+}
+
+// Stdev reports the population standard deviation.
+func (s Stats) Stdev() float64 { return math.Sqrt(s.Variance) }
+
+type statsPartial struct {
+	n        int64
+	sum, sq  float64
+	min, max float64
+}
+
+// FloatStats computes count/sum/min/max/mean/variance of float64 rows in a
+// single distributed pass.
+func (r *RDD) FloatStats() (Stats, error) {
+	parts, err := r.runJob(func(_ int, rows []Row) (any, error) {
+		p := statsPartial{min: math.Inf(1), max: math.Inf(-1)}
+		for _, row := range rows {
+			v := row.(float64)
+			p.n++
+			p.sum += v
+			p.sq += v * v
+			if v < p.min {
+				p.min = v
+			}
+			if v > p.max {
+				p.max = v
+			}
+		}
+		return p, nil
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	total := statsPartial{min: math.Inf(1), max: math.Inf(-1)}
+	for _, raw := range parts {
+		p := raw.(statsPartial)
+		total.n += p.n
+		total.sum += p.sum
+		total.sq += p.sq
+		if p.min < total.min {
+			total.min = p.min
+		}
+		if p.max > total.max {
+			total.max = p.max
+		}
+	}
+	st := Stats{Count: total.n, Sum: total.sum, Min: total.min, Max: total.max}
+	if total.n > 0 {
+		st.Mean = total.sum / float64(total.n)
+		st.Variance = total.sq/float64(total.n) - st.Mean*st.Mean
+		if st.Variance < 0 {
+			st.Variance = 0 // numeric noise
+		}
+	} else {
+		st.Min, st.Max = 0, 0
+	}
+	return st, nil
+}
+
+// Histogram buckets float64 rows into n equal-width bins over [lo, hi];
+// values outside the range are clamped into the edge bins.
+func (r *RDD) Histogram(n int, lo, hi float64) ([]int64, error) {
+	if n <= 0 || hi <= lo {
+		return nil, errInvalidHistogram
+	}
+	parts, err := r.runJob(func(_ int, rows []Row) (any, error) {
+		counts := make([]int64, n)
+		width := (hi - lo) / float64(n)
+		for _, row := range rows {
+			v := row.(float64)
+			b := int((v - lo) / width)
+			if b < 0 {
+				b = 0
+			}
+			if b >= n {
+				b = n - 1
+			}
+			counts[b]++
+		}
+		return counts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, n)
+	for _, raw := range parts {
+		for i, c := range raw.([]int64) {
+			out[i] += c
+		}
+	}
+	return out, nil
+}
+
+var errInvalidHistogram = errorString("rdd: histogram needs n > 0 and hi > lo")
+
+type errorString string
+
+// Error implements error.
+func (e errorString) Error() string { return string(e) }
+
+// Top returns the n largest pair values by key order of their keys.
+// Rows must be pairs with comparable keys; ordering uses CompareKeys.
+func (r *RDD) TopByKey(n int) ([]Pair, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	parts, err := r.runJob(func(_ int, rows []Row) (any, error) {
+		local := make([]Pair, 0, len(rows))
+		for _, row := range rows {
+			local = append(local, row.(Pair))
+		}
+		sort.Slice(local, func(i, j int) bool { return CompareKeys(local[i].K, local[j].K) > 0 })
+		if len(local) > n {
+			local = local[:n]
+		}
+		return local, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []Pair
+	for _, raw := range parts {
+		all = append(all, raw.([]Pair)...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return CompareKeys(all[i].K, all[j].K) > 0 })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all, nil
+}

@@ -1,0 +1,284 @@
+package rdd
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func pairsOf(kv ...any) []Row {
+	var rows []Row
+	for i := 0; i+1 < len(kv); i += 2 {
+		rows = append(rows, Pair{K: kv[i], V: kv[i+1]})
+	}
+	return rows
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	ctx := testCtx(2)
+	left := ctx.Parallelize(pairsOf(1, "a", 2, "b", 3, "c"), 2)
+	right := ctx.Parallelize(pairsOf(1, "x", 3, "y"), 2)
+	rows, err := left.LeftOuterJoin(right, nil).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("left outer join should keep all left keys: %v", rows)
+	}
+	got := map[any]OuterJoined{}
+	for _, row := range rows {
+		p := row.(Pair)
+		got[p.K] = p.V.(OuterJoined)
+	}
+	if !got[1].Right.Present || got[1].Right.Value != "x" {
+		t.Fatalf("key 1 should match: %+v", got[1])
+	}
+	if got[2].Right.Present {
+		t.Fatalf("key 2 should have no right side: %+v", got[2])
+	}
+	if !got[2].Left.Present || got[2].Left.Value != "b" {
+		t.Fatalf("key 2 left side wrong: %+v", got[2])
+	}
+}
+
+func TestRightAndFullOuterJoin(t *testing.T) {
+	ctx := testCtx(2)
+	left := ctx.Parallelize(pairsOf(1, "a"), 1)
+	right := ctx.Parallelize(pairsOf(1, "x", 9, "z"), 1)
+
+	rr, err := left.RightOuterJoin(right, nil).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr) != 2 {
+		t.Fatalf("right outer join rows = %d, want 2", len(rr))
+	}
+
+	fr, err := left.FullOuterJoin(right, nil).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr) != 2 { // keys 1 and 9
+		t.Fatalf("full outer join rows = %d, want 2", len(fr))
+	}
+	seen := map[any]bool{}
+	for _, row := range fr {
+		seen[row.(Pair).K] = true
+	}
+	if !seen[1] || !seen[9] {
+		t.Fatalf("full outer join keys wrong: %v", seen)
+	}
+}
+
+func TestOuterJoinMatchesInnerOnOverlap(t *testing.T) {
+	ctx := testCtx(3)
+	left := ctx.Parallelize(pairsOf(1, 10.0, 2, 20.0, 3, 30.0), 2)
+	right := ctx.Parallelize(pairsOf(2, 200.0, 3, 300.0, 4, 400.0), 2)
+	inner, err := left.Join(right, nil).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := left.FullOuterJoin(right, nil).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := int64(0)
+	for _, row := range full {
+		j := row.(Pair).V.(OuterJoined)
+		if j.Left.Present && j.Right.Present {
+			both++
+		}
+	}
+	if both != inner {
+		t.Fatalf("full outer join's matched rows (%d) must equal inner join (%d)", both, inner)
+	}
+}
+
+func TestSubtractAndIntersectKeys(t *testing.T) {
+	ctx := testCtx(2)
+	a := ctx.Parallelize(pairsOf(1, "a", 2, "b", 3, "c", 4, "d"), 2)
+	b := ctx.Parallelize(pairsOf(2, "x", 4, "y"), 1)
+
+	sub, err := a.SubtractByKey(b, nil).SortedKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sub, []any{1, 3}) {
+		t.Fatalf("subtract keys = %v", sub)
+	}
+	inter, err := a.IntersectKeys(b, nil).SortedKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inter, []any{2, 4}) {
+		t.Fatalf("intersect keys = %v", inter)
+	}
+}
+
+func TestGlom(t *testing.T) {
+	ctx := testCtx(3)
+	r := ctx.Parallelize(intRows(9), 3).Glom()
+	rows, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("glom should give one row per partition: %d", len(rows))
+	}
+	total := 0
+	for _, row := range rows {
+		total += len(row.([]any))
+	}
+	if total != 9 {
+		t.Fatalf("glom lost rows: %d", total)
+	}
+}
+
+func TestFloatStats(t *testing.T) {
+	ctx := testCtx(3)
+	r := ctx.Parallelize([]Row{1.0, 2.0, 3.0, 4.0}, 3)
+	st, err := r.FloatStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 4 || st.Sum != 10 || st.Min != 1 || st.Max != 4 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if math.Abs(st.Mean-2.5) > 1e-12 || math.Abs(st.Variance-1.25) > 1e-12 {
+		t.Fatalf("mean/var wrong: %+v", st)
+	}
+	if math.Abs(st.Stdev()-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("stdev wrong")
+	}
+	empty := ctx.Parallelize(nil, 0)
+	est, err := empty.FloatStats()
+	if err != nil || est.Count != 0 || est.Min != 0 || est.Max != 0 {
+		t.Fatalf("empty stats: %+v %v", est, err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	ctx := testCtx(2)
+	var rows []Row
+	for i := 0; i < 100; i++ {
+		rows = append(rows, float64(i))
+	}
+	r := ctx.Parallelize(rows, 4)
+	h, err := r.Histogram(4, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, []int64{25, 25, 25, 25}) {
+		t.Fatalf("histogram = %v", h)
+	}
+	// Out-of-range values clamp into edge bins.
+	r2 := ctx.Parallelize([]Row{-5.0, 500.0}, 1)
+	h2, err := r2.Histogram(2, 0, 10)
+	if err != nil || h2[0] != 1 || h2[1] != 1 {
+		t.Fatalf("clamping wrong: %v %v", h2, err)
+	}
+	if _, err := r.Histogram(0, 0, 1); err == nil {
+		t.Fatalf("invalid bin count should error")
+	}
+	if _, err := r.Histogram(3, 5, 5); err == nil {
+		t.Fatalf("empty range should error")
+	}
+}
+
+func TestTopByKey(t *testing.T) {
+	ctx := testCtx(3)
+	r := ctx.Parallelize(pairsOf(3, "c", 1, "a", 9, "i", 5, "e"), 3)
+	top, err := r.TopByKey(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].K != 9 || top[1].K != 5 {
+		t.Fatalf("top = %v", top)
+	}
+	none, err := r.TopByKey(0)
+	if err != nil || none != nil {
+		t.Fatalf("top(0) should be empty")
+	}
+	all, err := r.TopByKey(100)
+	if err != nil || len(all) != 4 {
+		t.Fatalf("top(100) should return everything: %v", all)
+	}
+}
+
+func TestOptionalSizes(t *testing.T) {
+	if None().LogicalBytes() != 8 {
+		t.Fatalf("None size wrong")
+	}
+	if Some("abcd").LogicalBytes() != RowBytes("abcd")+8 {
+		t.Fatalf("Some size wrong")
+	}
+	j := OuterJoined{Left: Some(1), Right: None()}
+	if j.LogicalBytes() <= 0 {
+		t.Fatalf("OuterJoined size wrong")
+	}
+}
+
+// Property: FloatStats matches a driver-side computation.
+func TestQuickFloatStatsOracle(t *testing.T) {
+	f := func(vals []float64) bool {
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 0
+			}
+			vals[i] = math.Mod(vals[i], 1e6)
+		}
+		ctx := testCtx(3)
+		rows := make([]Row, len(vals))
+		sum := 0.0
+		for i, v := range vals {
+			rows[i] = v
+			sum += v
+		}
+		st, err := ctx.Parallelize(rows, 3).FloatStats()
+		if err != nil {
+			return false
+		}
+		if st.Count != int64(len(vals)) {
+			return false
+		}
+		return math.Abs(st.Sum-sum) < 1e-6*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SubtractByKey and IntersectKeys partition the left key set.
+func TestQuickSubtractIntersectPartition(t *testing.T) {
+	f := func(leftKeys, rightKeys []uint8) bool {
+		ctx := testCtx(2)
+		seen := map[int]bool{}
+		var lrows []Row
+		for _, k := range leftKeys {
+			key := int(k % 32)
+			if !seen[key] {
+				seen[key] = true
+				lrows = append(lrows, Pair{K: key, V: 1})
+			}
+		}
+		var rrows []Row
+		for _, k := range rightKeys {
+			rrows = append(rrows, Pair{K: int(k % 32), V: 1})
+		}
+		if len(lrows) == 0 || len(rrows) == 0 {
+			return true
+		}
+		left := ctx.Parallelize(lrows, 2)
+		right := ctx.Parallelize(rrows, 2)
+		sub, err1 := left.SubtractByKey(right, nil).Count()
+		inter, err2 := left.IntersectKeys(right, nil).Count()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sub+inter == int64(len(lrows))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

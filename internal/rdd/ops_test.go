@@ -1,0 +1,494 @@
+package rdd
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func testCtx(parallelism int) *Context {
+	c := NewContext(parallelism)
+	c.SetRunner(NewLocalRunner())
+	return c
+}
+
+func intRows(n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func collectInts(t *testing.T, r *RDD) []int {
+	t.Helper()
+	rows, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, len(rows))
+	for i, row := range rows {
+		out[i] = row.(int)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func pairsToMap(t *testing.T, r *RDD) map[any]any {
+	t.Helper()
+	m, err := r.CollectPairsMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParallelizeAndCollect(t *testing.T) {
+	ctx := testCtx(4)
+	r := ctx.Parallelize(intRows(10), 4)
+	got := collectInts(t, r)
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+		t.Fatalf("collect = %v", got)
+	}
+	if r.NumParts != 4 || !r.Fixed {
+		t.Fatalf("parallelize partitioning wrong: %d fixed=%v", r.NumParts, r.Fixed)
+	}
+}
+
+func TestParallelizeEdgeCases(t *testing.T) {
+	ctx := testCtx(4)
+	empty := ctx.Parallelize(nil, 0)
+	if n, err := empty.Count(); err != nil || n != 0 {
+		t.Fatalf("empty count = %d err=%v", n, err)
+	}
+	tiny := ctx.Parallelize(intRows(2), 8) // fewer rows than partitions
+	if tiny.NumParts != 2 {
+		t.Fatalf("partitions should clamp to row count, got %d", tiny.NumParts)
+	}
+}
+
+func TestGenerateResplittable(t *testing.T) {
+	ctx := testCtx(4)
+	gen := func(split, total int) []Row {
+		// Rows hashed to splits so the dataset is split-count independent.
+		var rows []Row
+		for i := 0; i < 100; i++ {
+			if int(KeyHash(i)%uint64(total)) == split {
+				rows = append(rows, i)
+			}
+		}
+		return rows
+	}
+	r := ctx.Generate("points", 0, 1e6, gen)
+	if r.Fixed {
+		t.Fatalf("default-parallelism source should be tunable")
+	}
+	before := collectInts(t, r)
+	r.NumParts = 7 // simulate the configurator retuning the source
+	after := collectInts(t, r)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("dataset must be independent of split count")
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	ctx := testCtx(3)
+	r := ctx.Parallelize(intRows(10), 3)
+	doubled := collectInts(t, r.Map(func(x Row) Row { return x.(int) * 2 }))
+	if doubled[0] != 0 || doubled[9] != 18 {
+		t.Fatalf("map wrong: %v", doubled)
+	}
+	evens := collectInts(t, r.Filter(func(x Row) bool { return x.(int)%2 == 0 }))
+	if !reflect.DeepEqual(evens, []int{0, 2, 4, 6, 8}) {
+		t.Fatalf("filter wrong: %v", evens)
+	}
+	fm := collectInts(t, r.FlatMap(func(x Row) []Row { return []Row{x, x} }))
+	if len(fm) != 20 {
+		t.Fatalf("flatMap wrong length: %d", len(fm))
+	}
+}
+
+func TestMapPartitionsSeesWholePartition(t *testing.T) {
+	ctx := testCtx(2)
+	r := ctx.Parallelize(intRows(10), 2)
+	sums := r.MapPartitions("partSum", 1.0, func(split int, rows []Row) []Row {
+		s := 0
+		for _, row := range rows {
+			s += row.(int)
+		}
+		return []Row{s}
+	})
+	got := collectInts(t, sums)
+	if len(got) != 2 || got[0]+got[1] != 45 {
+		t.Fatalf("mapPartitions sums wrong: %v", got)
+	}
+}
+
+func TestUnionAndCoalesce(t *testing.T) {
+	ctx := testCtx(2)
+	a := ctx.Parallelize(intRows(5), 2)
+	b := ctx.Parallelize([]Row{10, 11}, 1)
+	u := a.Union(b)
+	if u.NumParts != 3 {
+		t.Fatalf("union partitions = %d, want 3", u.NumParts)
+	}
+	got := collectInts(t, u)
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 10, 11}) {
+		t.Fatalf("union rows: %v", got)
+	}
+	co := u.Coalesce(2)
+	if co.NumParts != 2 {
+		t.Fatalf("coalesce partitions = %d", co.NumParts)
+	}
+	if got := collectInts(t, co); len(got) != 7 {
+		t.Fatalf("coalesce dropped rows: %v", got)
+	}
+	one := u.Coalesce(0)
+	if one.NumParts != 1 {
+		t.Fatalf("coalesce(0) should clamp to 1")
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	ctx := testCtx(3)
+	var rows []Row
+	for i := 0; i < 12; i++ {
+		rows = append(rows, Pair{K: i % 3, V: 1.0})
+	}
+	r := ctx.Parallelize(rows, 3)
+	red := r.ReduceByKey(func(a, b any) any { return a.(float64) + b.(float64) }, 0)
+	m := pairsToMap(t, red)
+	if len(m) != 3 || m[0].(float64) != 4 || m[1].(float64) != 4 || m[2].(float64) != 4 {
+		t.Fatalf("reduceByKey wrong: %v", m)
+	}
+	if red.Fixed {
+		t.Fatalf("default-parallelism shuffle should be tunable")
+	}
+	fixed := r.ReduceByKey(func(a, b any) any { return a }, 7)
+	if !fixed.Deps[0].(*ShuffleDep).Fixed || fixed.NumParts != 7 {
+		t.Fatalf("explicit-count shuffle should be fixed with 7 parts")
+	}
+}
+
+func TestGroupByKeyAndAggregateByKey(t *testing.T) {
+	ctx := testCtx(2)
+	rows := []Row{
+		Pair{K: "a", V: 1.0}, Pair{K: "b", V: 2.0},
+		Pair{K: "a", V: 3.0}, Pair{K: "b", V: 4.0}, Pair{K: "a", V: 5.0},
+	}
+	r := ctx.Parallelize(rows, 2)
+	g := pairsToMap(t, r.GroupByKey(2))
+	if len(g["a"].([]any)) != 3 || len(g["b"].([]any)) != 2 {
+		t.Fatalf("groupByKey wrong: %v", g)
+	}
+	agg := r.AggregateByKey(
+		func() any { return 0.0 },
+		func(acc, v any) any { return acc.(float64) + v.(float64) },
+		func(a, b any) any { return a.(float64) + b.(float64) }, 2)
+	am := pairsToMap(t, agg)
+	if am["a"].(float64) != 9 || am["b"].(float64) != 6 {
+		t.Fatalf("aggregateByKey wrong: %v", am)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ctx := testCtx(3)
+	r := ctx.Parallelize([]Row{1, 2, 2, 3, 3, 3, 1}, 3)
+	got := collectInts(t, r.Distinct(2))
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("distinct = %v", got)
+	}
+}
+
+func TestSortByKeyGlobalOrder(t *testing.T) {
+	ctx := testCtx(3)
+	var rows []Row
+	for _, k := range []int{9, 3, 7, 1, 8, 2, 6, 0, 5, 4} {
+		rows = append(rows, Pair{K: k, V: k * 10})
+	}
+	r := ctx.Parallelize(rows, 3)
+	sorted, err := r.SortByKey(3).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sorted); i++ {
+		if CompareKeys(sorted[i-1].(Pair).K, sorted[i].(Pair).K) > 0 {
+			t.Fatalf("not globally sorted at %d: %v", i, sorted)
+		}
+	}
+	if len(sorted) != 10 {
+		t.Fatalf("sort lost rows: %d", len(sorted))
+	}
+}
+
+func TestJoin(t *testing.T) {
+	ctx := testCtx(2)
+	left := ctx.Parallelize([]Row{
+		Pair{K: 1, V: "l1"}, Pair{K: 2, V: "l2"}, Pair{K: 2, V: "l2b"}, Pair{K: 3, V: "l3"},
+	}, 2)
+	right := ctx.Parallelize([]Row{
+		Pair{K: 1, V: "r1"}, Pair{K: 2, V: "r2"}, Pair{K: 4, V: "r4"},
+	}, 2)
+	joined, err := left.Join(right, nil).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// key 1: 1 combo, key 2: 2 combos, keys 3,4 dropped.
+	if len(joined) != 3 {
+		t.Fatalf("join produced %d rows, want 3: %v", len(joined), joined)
+	}
+	for _, row := range joined {
+		p := row.(Pair)
+		jv := p.V.(JoinedValue)
+		if p.K.(int) == 1 && (jv.Left != "l1" || jv.Right != "r1") {
+			t.Fatalf("join mismatch: %v", p)
+		}
+	}
+}
+
+func TestCoGroupNarrowWhenCoPartitioned(t *testing.T) {
+	ctx := testCtx(2)
+	p := NewHashPartitioner(4)
+	left := ctx.Parallelize([]Row{Pair{K: 1, V: "a"}, Pair{K: 2, V: "b"}}, 2).PartitionBy(p)
+	right := ctx.Parallelize([]Row{Pair{K: 1, V: "x"}, Pair{K: 3, V: "y"}}, 2).PartitionBy(p)
+	cg := left.CoGroup(right, p)
+	// Both sides share the join partitioner: both dependencies must be narrow.
+	for i, d := range cg.Deps {
+		if _, ok := d.(*NarrowDep); !ok {
+			t.Fatalf("dep %d should be narrow for co-partitioned cogroup, got %T", i, d)
+		}
+	}
+	rows, err := cg.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[any][][]any{}
+	for _, row := range rows {
+		pr := row.(Pair)
+		found[pr.K] = pr.V.([][]any)
+	}
+	if len(found) != 3 {
+		t.Fatalf("cogroup keys = %d, want 3", len(found))
+	}
+	if len(found[1][0]) != 1 || len(found[1][1]) != 1 {
+		t.Fatalf("key 1 groups wrong: %v", found[1])
+	}
+	if len(found[2][0]) != 1 || len(found[2][1]) != 0 {
+		t.Fatalf("key 2 groups wrong: %v", found[2])
+	}
+}
+
+func TestCoGroupShuffledWhenNotCoPartitioned(t *testing.T) {
+	ctx := testCtx(2)
+	left := ctx.Parallelize([]Row{Pair{K: 1, V: "a"}}, 1)
+	right := ctx.Parallelize([]Row{Pair{K: 1, V: "x"}}, 1)
+	cg := left.CoGroup(right, nil)
+	for i, d := range cg.Deps {
+		if _, ok := d.(*ShuffleDep); !ok {
+			t.Fatalf("dep %d should be a shuffle, got %T", i, d)
+		}
+	}
+}
+
+func TestMapValuesPreservesPartitioner(t *testing.T) {
+	ctx := testCtx(2)
+	p := NewHashPartitioner(3)
+	r := ctx.Parallelize([]Row{Pair{K: 1, V: 1.0}}, 1).PartitionBy(p)
+	mv := r.MapValues(func(v any) any { return v.(float64) * 2 })
+	if mv.Part == nil || mv.Part.Identity() != p.Identity() {
+		t.Fatalf("mapValues must preserve the partitioner")
+	}
+	m := pairsToMap(t, mv)
+	if m[1].(float64) != 2 {
+		t.Fatalf("mapValues result wrong: %v", m)
+	}
+}
+
+func TestKeysValuesKeyBy(t *testing.T) {
+	ctx := testCtx(2)
+	r := ctx.Parallelize([]Row{Pair{K: 1, V: "a"}, Pair{K: 2, V: "b"}}, 1)
+	ks := collectInts(t, r.Keys())
+	if !reflect.DeepEqual(ks, []int{1, 2}) {
+		t.Fatalf("keys = %v", ks)
+	}
+	vs, _ := r.Values().Collect()
+	if len(vs) != 2 {
+		t.Fatalf("values = %v", vs)
+	}
+	kb := ctx.Parallelize(intRows(4), 2).KeyBy(func(r Row) any { return r.(int) % 2 })
+	cnt, err := kb.CountByKey()
+	if err != nil || cnt[0] != 2 || cnt[1] != 2 {
+		t.Fatalf("keyBy/countByKey wrong: %v %v", cnt, err)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	ctx := testCtx(2)
+	r := ctx.Parallelize(intRows(1000), 4)
+	s := r.Sample(0.1)
+	a := collectInts(t, s)
+	b := collectInts(t, s)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("sample must be deterministic")
+	}
+	if len(a) < 50 || len(a) > 200 {
+		t.Fatalf("sample size implausible: %d", len(a))
+	}
+}
+
+func TestCachedRDDReuses(t *testing.T) {
+	ctx := testCtx(2)
+	calls := 0
+	src := ctx.Generate("src", 2, 100, func(split, total int) []Row {
+		calls++
+		return []Row{split}
+	})
+	c := src.Map(func(r Row) Row { return r }).Cache()
+	if _, err := c.Count(); err != nil {
+		t.Fatal(err)
+	}
+	first := calls
+	if _, err := c.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != first {
+		t.Fatalf("cached RDD recomputed source: %d -> %d", first, calls)
+	}
+}
+
+func TestPropagateCounts(t *testing.T) {
+	ctx := testCtx(4)
+	src := ctx.Generate("src", 0, 100, func(split, total int) []Row { return nil })
+	m := src.Map(func(r Row) Row { return r }).Filter(func(Row) bool { return true })
+	red := m.KeyBy(func(r Row) any { return 0 }).ReduceByKey(func(a, b any) any { return a }, 0)
+	tail := red.MapValues(func(v any) any { return v })
+
+	src.NumParts = 9
+	dep := red.Deps[0].(*ShuffleDep)
+	dep.Part = NewHashPartitioner(5)
+	PropagateCounts(tail)
+	if m.NumParts != 9 {
+		t.Fatalf("narrow child should follow source: %d", m.NumParts)
+	}
+	if red.NumParts != 5 || tail.NumParts != 5 {
+		t.Fatalf("shuffle child should follow partitioner: %d %d", red.NumParts, tail.NumParts)
+	}
+}
+
+func TestActionsWithoutRunner(t *testing.T) {
+	ctx := NewContext(2) // no runner
+	r := ctx.Parallelize(intRows(3), 1)
+	if _, err := r.Count(); err != ErrNoRunner {
+		t.Fatalf("expected ErrNoRunner, got %v", err)
+	}
+}
+
+func TestReduceAction(t *testing.T) {
+	ctx := testCtx(3)
+	r := ctx.Parallelize(intRows(10), 3)
+	sum, err := r.Reduce(func(a, b Row) Row { return a.(int) + b.(int) })
+	if err != nil || sum.(int) != 45 {
+		t.Fatalf("reduce = %v err=%v", sum, err)
+	}
+	empty := ctx.Parallelize(nil, 0)
+	if _, err := empty.Reduce(func(a, b Row) Row { return a }); err == nil {
+		t.Fatalf("reduce of empty should error")
+	}
+}
+
+func TestTakeFirstSumFloat(t *testing.T) {
+	ctx := testCtx(2)
+	r := ctx.Parallelize([]Row{1.0, 2.0, 3.0}, 2)
+	got, err := r.Take(2)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("take: %v %v", got, err)
+	}
+	f, err := r.First()
+	if err != nil || f.(float64) != 1.0 {
+		t.Fatalf("first: %v %v", f, err)
+	}
+	s, err := r.SumFloat()
+	if err != nil || s != 6.0 {
+		t.Fatalf("sumFloat: %v %v", s, err)
+	}
+}
+
+func TestTakeSampleBounded(t *testing.T) {
+	ctx := testCtx(3)
+	r := ctx.Parallelize(intRows(100), 3)
+	s, err := r.TakeSample(5)
+	if err != nil || len(s) != 5 {
+		t.Fatalf("takeSample: %d %v", len(s), err)
+	}
+	s2, _ := r.TakeSample(5)
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatalf("takeSample must be deterministic")
+	}
+	if s0, _ := r.TakeSample(0); s0 != nil {
+		t.Fatalf("takeSample(0) should be empty")
+	}
+}
+
+func TestLineage(t *testing.T) {
+	ctx := testCtx(2)
+	a := ctx.Parallelize(intRows(4), 2)
+	b := a.Map(func(r Row) Row { return r })
+	c := b.Filter(func(Row) bool { return true })
+	lin := c.Lineage()
+	if len(lin) != 3 || lin[0].ID != c.ID || lin[2].ID != a.ID {
+		t.Fatalf("lineage wrong: %v", lin)
+	}
+}
+
+// Property: reduceByKey(sum) equals a driver-side group-and-sum for random
+// key/value sets (the shuffle path is semantics-preserving).
+func TestQuickReduceByKeyMatchesOracle(t *testing.T) {
+	f := func(keys []uint8, seed int64) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		ctx := testCtx(3)
+		var rows []Row
+		want := map[any]float64{}
+		for i, k := range keys {
+			key := int(k % 16)
+			v := float64(i%7) + 1
+			rows = append(rows, Pair{K: key, V: v})
+			want[key] += v
+		}
+		r := ctx.Parallelize(rows, 3).ReduceByKey(func(a, b any) any {
+			return a.(float64) + b.(float64)
+		}, 4)
+		got, err := r.CollectPairsMap()
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if gv, ok := got[k]; !ok || gv.(float64) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: count survives any repartitioning.
+func TestQuickRepartitionPreservesCount(t *testing.T) {
+	f := func(n uint8, parts uint8) bool {
+		rows := make([]Row, int(n))
+		for i := range rows {
+			rows[i] = Pair{K: i, V: i}
+		}
+		ctx := testCtx(2)
+		r := ctx.Parallelize(rows, 2).Repartition(int(parts%8) + 1)
+		c, err := r.Count()
+		return err == nil && c == int64(len(rows))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package rdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashPartitionerBasics(t *testing.T) {
+	p := NewHashPartitioner(8)
+	if p.NumPartitions() != 8 || p.Name() != "hash" {
+		t.Fatalf("basic accessors wrong")
+	}
+	for i := 0; i < 1000; i++ {
+		b := p.PartitionFor(i)
+		if b < 0 || b >= 8 {
+			t.Fatalf("partition out of range: %d", b)
+		}
+	}
+}
+
+func TestHashPartitionerBalance(t *testing.T) {
+	p := NewHashPartitioner(10)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[p.PartitionFor(i)]++
+	}
+	for b, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("hash partitioner unbalanced: bucket %d has %d/10000", b, c)
+		}
+	}
+}
+
+func TestHashPartitionerIdentityUnique(t *testing.T) {
+	a, b := NewHashPartitioner(4), NewHashPartitioner(4)
+	if a.Identity() == b.Identity() {
+		t.Fatalf("distinct partitioners must have distinct identities")
+	}
+}
+
+func TestHashPartitionerPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewHashPartitioner(0)
+}
+
+func TestRangePartitionerBalanceOnSkew(t *testing.T) {
+	// Zipf-ish skewed sample: range partitioner should still produce
+	// reasonably even record counts when partitioning the same distribution.
+	rng := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(rng, 1.3, 8, 1<<20)
+	var keys []any
+	for i := 0; i < 20000; i++ {
+		keys = append(keys, int(z.Uint64()))
+	}
+	p := NewRangePartitionerFromSample(10, keys)
+	counts := make([]int, 10)
+	for _, k := range keys {
+		counts[p.PartitionFor(k)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Hot duplicate keys can still pile into one partition; the guarantee is
+	// bounded imbalance versus a hash partitioner's unbounded heavy bucket.
+	if max > 3*len(keys)/10 {
+		t.Fatalf("range partitioner too skewed: max bucket %d of %d", max, len(keys))
+	}
+}
+
+func TestRangePartitionerOrdering(t *testing.T) {
+	var sample []any
+	for i := 0; i < 1000; i++ {
+		sample = append(sample, i)
+	}
+	p := NewRangePartitionerFromSample(4, sample)
+	last := -1
+	for k := 0; k < 1000; k += 10 {
+		b := p.PartitionFor(k)
+		if b < last {
+			t.Fatalf("range partitions must be monotone in key order: key %d -> %d after %d", k, b, last)
+		}
+		last = b
+	}
+	if p.PartitionFor(-100) != 0 {
+		t.Fatalf("below-minimum key should map to partition 0")
+	}
+	if p.PartitionFor(10_000) != 3 {
+		t.Fatalf("above-maximum key should map to the last partition")
+	}
+}
+
+func TestRangePartitionerEmptySample(t *testing.T) {
+	p := NewRangePartitionerFromSample(5, nil)
+	if p.PartitionFor("anything") != 0 {
+		t.Fatalf("degenerate range partitioner should send all keys to 0")
+	}
+	if len(p.Bounds()) != 0 {
+		t.Fatalf("no bounds expected")
+	}
+}
+
+func TestValidScheme(t *testing.T) {
+	if !ValidScheme(SchemeHash) || !ValidScheme(SchemeRange) {
+		t.Fatalf("built-in schemes should validate")
+	}
+	if ValidScheme("bogus") {
+		t.Fatalf("bogus scheme validated")
+	}
+}
+
+// Property: partitions are always in [0, n) for both partitioners.
+func TestQuickPartitionInRange(t *testing.T) {
+	var sample []any
+	for i := 0; i < 100; i++ {
+		sample = append(sample, i*37%100)
+	}
+	hp := NewHashPartitioner(7)
+	rp := NewRangePartitionerFromSample(7, sample)
+	f := func(k int) bool {
+		hb, rb := hp.PartitionFor(k), rp.PartitionFor(k)
+		return hb >= 0 && hb < 7 && rb >= 0 && rb < 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: same key always routes to the same partition (determinism).
+func TestQuickPartitionDeterministic(t *testing.T) {
+	hp := NewHashPartitioner(13)
+	f := func(k int64) bool { return hp.PartitionFor(k) == hp.PartitionFor(k) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: range partitioner respects key ordering: a <= b implies
+// partition(a) <= partition(b).
+func TestQuickRangeMonotone(t *testing.T) {
+	var sample []any
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		sample = append(sample, rng.Intn(1_000_000))
+	}
+	rp := NewRangePartitionerFromSample(9, sample)
+	f := func(a, b int) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return rp.PartitionFor(a) <= rp.PartitionFor(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

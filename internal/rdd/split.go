@@ -1,0 +1,113 @@
+package rdd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PartitionPairs routes the pair rows of one map partition to reduce
+// buckets under p, applying the aggregator map-side when requested.
+// This is the map side of a shuffle; both the cluster engine and the local
+// reference runner use it, so their semantics cannot diverge.
+func PartitionPairs(rows []Row, p Partitioner, agg *Aggregator) ([][]Pair, error) {
+	buckets := make([][]Pair, p.NumPartitions())
+	if agg != nil && agg.MapSideCombine {
+		combined := make([]map[any]any, p.NumPartitions())
+		orders := make([][]any, p.NumPartitions())
+		for _, row := range rows {
+			pr, ok := row.(Pair)
+			if !ok {
+				return nil, fmt.Errorf("rdd: shuffling non-pair row %T", row)
+			}
+			b := p.PartitionFor(pr.K)
+			if combined[b] == nil {
+				combined[b] = map[any]any{}
+			}
+			if acc, ok := combined[b][pr.K]; ok {
+				combined[b][pr.K] = agg.MergeValue(acc, pr.V)
+			} else {
+				combined[b][pr.K] = agg.Create(pr.V)
+				orders[b] = append(orders[b], pr.K)
+			}
+		}
+		for b := range buckets {
+			for _, k := range orders[b] {
+				buckets[b] = append(buckets[b], Pair{K: k, V: combined[b][k]})
+			}
+		}
+		return buckets, nil
+	}
+	for _, row := range rows {
+		pr, ok := row.(Pair)
+		if !ok {
+			return nil, fmt.Errorf("rdd: shuffling non-pair row %T", row)
+		}
+		b := p.PartitionFor(pr.K)
+		buckets[b] = append(buckets[b], pr)
+	}
+	return buckets, nil
+}
+
+// MergeReduceBlocks merges the shuffle blocks destined for one reduce
+// partition (one block per map task, in map-task order) into the reduce
+// input rows. With an aggregator, values combine per key; without one,
+// pairs concatenate in block order. Output keys are sorted so downstream
+// computation is deterministic regardless of execution interleaving.
+func MergeReduceBlocks(blocks [][]Pair, agg *Aggregator) []Row {
+	if agg == nil {
+		var out []Row
+		for _, blk := range blocks {
+			for _, pr := range blk {
+				out = append(out, pr)
+			}
+		}
+		sort.SliceStable(out, func(i, j int) bool {
+			return CompareKeys(out[i].(Pair).K, out[j].(Pair).K) < 0
+		})
+		return out
+	}
+	acc := map[any]any{}
+	var order []any
+	for _, blk := range blocks {
+		for _, pr := range blk {
+			if cur, ok := acc[pr.K]; ok {
+				if agg.MapSideCombine {
+					acc[pr.K] = agg.MergeCombiners(cur, pr.V)
+				} else {
+					acc[pr.K] = agg.MergeValue(cur, pr.V)
+				}
+			} else {
+				if agg.MapSideCombine {
+					acc[pr.K] = pr.V // already a combiner from the map side
+				} else {
+					acc[pr.K] = agg.Create(pr.V)
+				}
+				order = append(order, pr.K)
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return CompareKeys(order[i], order[j]) < 0 })
+	out := make([]Row, len(order))
+	for i, k := range order {
+		out[i] = Pair{K: k, V: acc[k]}
+	}
+	return out
+}
+
+// SampleKeysForRange extracts up to perPart keys from each map partition's
+// rows, used to fit range-partitioner bounds before a range shuffle.
+func SampleKeysForRange(partitions [][]Row, perPart int) []any {
+	var sample []any
+	for _, rows := range partitions {
+		if len(rows) == 0 {
+			continue
+		}
+		stride := len(rows)/perPart + 1
+		for i := 0; i < len(rows); i += stride {
+			if pr, ok := rows[i].(Pair); ok {
+				sample = append(sample, pr.K)
+			}
+		}
+	}
+	return sample
+}

@@ -1,0 +1,233 @@
+// Package shuffle implements the engine's shuffle subsystem: a map-output
+// tracker holding the blocks each map task wrote per reduce partition,
+// byte accounting (payload plus per-block overhead), and the locality
+// queries the co-partition-aware scheduler uses to place reduce tasks where
+// their input lives.
+//
+// Every (map task x reduce partition) pair produces one block; each block
+// costs a fixed overhead (headers, index entries, framing) on top of its
+// payload. This is why total shuffle bytes grow with the partition count
+// even at constant payload — the effect behind the paper's Fig. 4.
+package shuffle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"chopper/internal/rdd"
+)
+
+// Block is the output of one map task for one reduce partition.
+type Block struct {
+	Pairs []rdd.Pair
+	// PayloadBytes is the logical serialized payload size.
+	PayloadBytes int64
+}
+
+type mapOutput struct {
+	node   string
+	blocks []Block
+}
+
+type state struct {
+	numMaps   int
+	numReduce int
+	outputs   []*mapOutput
+	completed int
+}
+
+// Manager tracks all shuffles of a run.
+type Manager struct {
+	mu            sync.Mutex
+	overheadBytes int64
+	emptyBytes    int64
+	shuffles      map[int]*state
+}
+
+// NewManager creates a manager with the given per-block overheads in bytes:
+// non-empty blocks carry headers and framing (overheadBytes); empty blocks
+// only cost an index entry (emptyBytes). With K distinct keys, a shuffle
+// over R >> K partitions has mostly empty blocks, so total volume grows
+// roughly linearly (not quadratically) with R — matching the paper's Fig. 4.
+func NewManager(overheadBytes, emptyBytes int64) *Manager {
+	return &Manager{overheadBytes: overheadBytes, emptyBytes: emptyBytes, shuffles: map[int]*state{}}
+}
+
+// BlockOverhead reports the overhead charged for a block of the given
+// payload size.
+func (m *Manager) BlockOverhead(payloadBytes int64) int64 {
+	if payloadBytes == 0 {
+		return m.emptyBytes
+	}
+	return m.overheadBytes
+}
+
+// Register announces a shuffle before its map stage runs. Re-registering an
+// id resets it (a stage retune re-runs the map side).
+func (m *Manager) Register(shuffleID, numMaps, numReduce int) {
+	if numMaps <= 0 || numReduce <= 0 {
+		panic(fmt.Sprintf("shuffle: register %d with maps=%d reduce=%d", shuffleID, numMaps, numReduce))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shuffles[shuffleID] = &state{
+		numMaps:   numMaps,
+		numReduce: numReduce,
+		outputs:   make([]*mapOutput, numMaps),
+	}
+}
+
+// PutMapOutput records the blocks map task mapTask wrote on node. It returns
+// the total bytes written (payload plus per-block overhead), the quantity
+// the metrics layer reports as shuffle write.
+func (m *Manager) PutMapOutput(shuffleID, mapTask int, node string, blocks []Block) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.mustGet(shuffleID)
+	if mapTask < 0 || mapTask >= st.numMaps {
+		panic(fmt.Sprintf("shuffle %d: map task %d out of range [0,%d)", shuffleID, mapTask, st.numMaps))
+	}
+	if len(blocks) != st.numReduce {
+		panic(fmt.Sprintf("shuffle %d: got %d blocks, want %d", shuffleID, len(blocks), st.numReduce))
+	}
+	if st.outputs[mapTask] == nil {
+		st.completed++
+	}
+	st.outputs[mapTask] = &mapOutput{node: node, blocks: blocks}
+	var bytes int64
+	for _, b := range blocks {
+		bytes += b.PayloadBytes + m.BlockOverhead(b.PayloadBytes)
+	}
+	return bytes
+}
+
+// Complete reports whether every map task has registered output.
+func (m *Manager) Complete(shuffleID int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.mustGet(shuffleID)
+	return st.completed == st.numMaps
+}
+
+// ReduceInput returns the blocks destined for a reduce partition, one per
+// map task in map-task order (deterministic merge order downstream).
+func (m *Manager) ReduceInput(shuffleID, reduce int) [][]rdd.Pair {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.mustGet(shuffleID)
+	m.checkReduce(st, shuffleID, reduce)
+	out := make([][]rdd.Pair, st.numMaps)
+	for i, mo := range st.outputs {
+		if mo == nil {
+			panic(fmt.Sprintf("shuffle %d: reduce read before map %d finished", shuffleID, i))
+		}
+		out[i] = mo.blocks[reduce].Pairs
+	}
+	return out
+}
+
+// ReduceBytes reports the bytes a reduce task on readerNode fetches,
+// split into local and remote volumes (overhead included per block).
+func (m *Manager) ReduceBytes(shuffleID, reduce int, readerNode string) (local, remote int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.mustGet(shuffleID)
+	m.checkReduce(st, shuffleID, reduce)
+	for _, mo := range st.outputs {
+		if mo == nil {
+			continue
+		}
+		b := mo.blocks[reduce].PayloadBytes + m.BlockOverhead(mo.blocks[reduce].PayloadBytes)
+		if mo.node == readerNode {
+			local += b
+		} else {
+			remote += b
+		}
+	}
+	return local, remote
+}
+
+// ReduceBytesByNode reports, for one reduce partition, how many input bytes
+// live on each map node — the locality signal for reduce placement.
+func (m *Manager) ReduceBytesByNode(shuffleID, reduce int) map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.mustGet(shuffleID)
+	m.checkReduce(st, shuffleID, reduce)
+	out := map[string]int64{}
+	for _, mo := range st.outputs {
+		if mo == nil {
+			continue
+		}
+		blk := mo.blocks[reduce]
+		out[mo.node] += blk.PayloadBytes + m.BlockOverhead(blk.PayloadBytes)
+	}
+	return out
+}
+
+// BestReduceNode returns the node holding the most input for a reduce
+// partition across the given shuffles (a join reads several), with
+// deterministic tie-breaking. ok is false when no output exists yet.
+func (m *Manager) BestReduceNode(shuffleIDs []int, reduce int) (string, bool) {
+	totals := map[string]int64{}
+	for _, id := range shuffleIDs {
+		for n, b := range m.ReduceBytesByNode(id, reduce) {
+			totals[n] += b
+		}
+	}
+	if len(totals) == 0 {
+		return "", false
+	}
+	nodes := make([]string, 0, len(totals))
+	for n := range totals {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	best := nodes[0]
+	for _, n := range nodes[1:] {
+		if totals[n] > totals[best] {
+			best = n
+		}
+	}
+	return best, true
+}
+
+// TotalWriteBytes reports the total bytes written by a shuffle so far
+// (payload + overhead over all blocks).
+func (m *Manager) TotalWriteBytes(shuffleID int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.mustGet(shuffleID)
+	var sum int64
+	for _, mo := range st.outputs {
+		if mo == nil {
+			continue
+		}
+		for _, b := range mo.blocks {
+			sum += b.PayloadBytes + m.BlockOverhead(b.PayloadBytes)
+		}
+	}
+	return sum
+}
+
+// NumReduce reports the reduce-side partition count of a shuffle.
+func (m *Manager) NumReduce(shuffleID int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mustGet(shuffleID).numReduce
+}
+
+func (m *Manager) mustGet(id int) *state {
+	st, ok := m.shuffles[id]
+	if !ok {
+		panic(fmt.Sprintf("shuffle: unknown shuffle id %d", id))
+	}
+	return st
+}
+
+func (m *Manager) checkReduce(st *state, id, reduce int) {
+	if reduce < 0 || reduce >= st.numReduce {
+		panic(fmt.Sprintf("shuffle %d: reduce %d out of range [0,%d)", id, reduce, st.numReduce))
+	}
+}

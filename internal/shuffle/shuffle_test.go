@@ -1,0 +1,195 @@
+package shuffle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chopper/internal/rdd"
+)
+
+func blocksFor(numReduce int, payload ...int64) []Block {
+	out := make([]Block, numReduce)
+	for i := range out {
+		if i < len(payload) {
+			out[i] = Block{PayloadBytes: payload[i]}
+		}
+	}
+	return out
+}
+
+func TestRegisterAndWriteAccounting(t *testing.T) {
+	m := NewManager(10, 10)
+	m.Register(1, 2, 3)
+	w := m.PutMapOutput(1, 0, "A", blocksFor(3, 100, 200, 0))
+	// payload 300 + 3 blocks x 10 overhead.
+	if w != 330 {
+		t.Fatalf("write bytes = %d, want 330", w)
+	}
+	if m.Complete(1) {
+		t.Fatalf("shuffle not complete with 1 of 2 maps")
+	}
+	m.PutMapOutput(1, 1, "B", blocksFor(3, 50, 0, 50))
+	if !m.Complete(1) {
+		t.Fatalf("shuffle should be complete")
+	}
+	if got := m.TotalWriteBytes(1); got != 330+130 {
+		t.Fatalf("total write = %d, want 460", got)
+	}
+}
+
+func TestReduceInputOrderedByMapTask(t *testing.T) {
+	m := NewManager(0, 0)
+	m.Register(7, 2, 1)
+	b0 := []Block{{Pairs: []rdd.Pair{{K: 1, V: "m0"}}}}
+	b1 := []Block{{Pairs: []rdd.Pair{{K: 1, V: "m1"}}}}
+	// Insert out of order; read must be map-task ordered.
+	m.PutMapOutput(7, 1, "B", b1)
+	m.PutMapOutput(7, 0, "A", b0)
+	in := m.ReduceInput(7, 0)
+	if len(in) != 2 || in[0][0].V != "m0" || in[1][0].V != "m1" {
+		t.Fatalf("reduce input out of order: %v", in)
+	}
+}
+
+func TestReduceBytesLocalRemoteSplit(t *testing.T) {
+	m := NewManager(5, 5)
+	m.Register(2, 2, 2)
+	m.PutMapOutput(2, 0, "A", blocksFor(2, 100, 10))
+	m.PutMapOutput(2, 1, "B", blocksFor(2, 40, 20))
+	local, remote := m.ReduceBytes(2, 0, "A")
+	if local != 105 || remote != 45 {
+		t.Fatalf("local=%d remote=%d, want 105/45", local, remote)
+	}
+	local, remote = m.ReduceBytes(2, 0, "C")
+	if local != 0 || remote != 150 {
+		t.Fatalf("off-cluster reader: local=%d remote=%d", local, remote)
+	}
+}
+
+func TestReduceBytesByNodeAndBestNode(t *testing.T) {
+	m := NewManager(0, 0)
+	m.Register(3, 3, 1)
+	m.PutMapOutput(3, 0, "A", blocksFor(1, 100))
+	m.PutMapOutput(3, 1, "B", blocksFor(1, 300))
+	m.PutMapOutput(3, 2, "A", blocksFor(1, 50))
+	by := m.ReduceBytesByNode(3, 0)
+	if by["A"] != 150 || by["B"] != 300 {
+		t.Fatalf("by-node bytes wrong: %v", by)
+	}
+	best, ok := m.BestReduceNode([]int{3}, 0)
+	if !ok || best != "B" {
+		t.Fatalf("best node = %q", best)
+	}
+}
+
+func TestBestReduceNodeAcrossShuffles(t *testing.T) {
+	m := NewManager(0, 0)
+	m.Register(1, 1, 1)
+	m.Register(2, 1, 1)
+	m.PutMapOutput(1, 0, "A", blocksFor(1, 100))
+	m.PutMapOutput(2, 0, "B", blocksFor(1, 150))
+	best, ok := m.BestReduceNode([]int{1, 2}, 0)
+	if !ok || best != "B" {
+		t.Fatalf("combined best = %q", best)
+	}
+}
+
+func TestBestReduceNodeDeterministicTie(t *testing.T) {
+	m := NewManager(0, 0)
+	m.Register(4, 2, 1)
+	m.PutMapOutput(4, 0, "B", blocksFor(1, 100))
+	m.PutMapOutput(4, 1, "A", blocksFor(1, 100))
+	best, _ := m.BestReduceNode([]int{4}, 0)
+	if best != "A" {
+		t.Fatalf("ties must break to the lexicographically first node, got %q", best)
+	}
+}
+
+func TestOverheadGrowsWithReduceCount(t *testing.T) {
+	// Same payload, more reduce partitions => more total shuffle bytes.
+	payload := int64(1000)
+	write := func(numReduce int) int64 {
+		m := NewManager(96, 8)
+		m.Register(1, 4, numReduce)
+		var total int64
+		for mt := 0; mt < 4; mt++ {
+			blocks := make([]Block, numReduce)
+			for i := range blocks {
+				blocks[i].PayloadBytes = payload / int64(numReduce)
+			}
+			total += m.PutMapOutput(1, mt, "A", blocks)
+		}
+		return total
+	}
+	small, large := write(10), write(500)
+	if large <= small {
+		t.Fatalf("shuffle bytes must grow with partition count: %d vs %d", small, large)
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	m := NewManager(0, 0)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("unknown shuffle", func() { m.ReduceInput(99, 0) })
+	mustPanic("bad register", func() { m.Register(1, 0, 1) })
+	m.Register(1, 1, 1)
+	mustPanic("wrong block count", func() { m.PutMapOutput(1, 0, "A", blocksFor(3)) })
+	mustPanic("map task range", func() { m.PutMapOutput(1, 5, "A", blocksFor(1)) })
+	mustPanic("reduce before maps", func() { m.ReduceInput(1, 0) })
+	m.PutMapOutput(1, 0, "A", blocksFor(1, 10))
+	mustPanic("reduce range", func() { m.ReduceInput(1, 3) })
+}
+
+func TestReRegisterResets(t *testing.T) {
+	m := NewManager(0, 0)
+	m.Register(1, 1, 1)
+	m.PutMapOutput(1, 0, "A", blocksFor(1, 10))
+	m.Register(1, 2, 2)
+	if m.Complete(1) {
+		t.Fatalf("re-register should reset completion")
+	}
+	if m.NumReduce(1) != 2 {
+		t.Fatalf("re-register should adopt new reduce count")
+	}
+}
+
+// Property: sum of per-reduce local+remote bytes over all reduce partitions
+// equals TotalWriteBytes, for any reader node.
+func TestQuickBytesConserved(t *testing.T) {
+	f := func(payloads []uint16, readerPick uint8) bool {
+		numReduce := 4
+		m := NewManager(7, 7)
+		nMaps := len(payloads)/numReduce + 1
+		m.Register(1, nMaps, numReduce)
+		nodes := []string{"A", "B", "C"}
+		idx := 0
+		for mt := 0; mt < nMaps; mt++ {
+			blocks := make([]Block, numReduce)
+			for r := 0; r < numReduce; r++ {
+				if idx < len(payloads) {
+					blocks[r].PayloadBytes = int64(payloads[idx])
+					idx++
+				}
+			}
+			m.PutMapOutput(1, mt, nodes[mt%len(nodes)], blocks)
+		}
+		reader := nodes[int(readerPick)%len(nodes)]
+		var sum int64
+		for r := 0; r < numReduce; r++ {
+			l, rem := m.ReduceBytes(1, r, reader)
+			sum += l + rem
+		}
+		return sum == m.TotalWriteBytes(1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package simclock provides a deterministic discrete-event simulation clock
+// and supporting primitives (event heap, interval recorder) used by the
+// cluster simulator. All simulated durations are in seconds.
+//
+// The clock is single-threaded by design: events execute in (time, sequence)
+// order, so two events scheduled for the same instant fire in the order they
+// were scheduled. This keeps every experiment bit-for-bit reproducible.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Clock is a discrete-event simulation clock.
+// The zero value is not ready for use; call New.
+type Clock struct {
+	now    float64
+	seq    int64
+	events eventHeap
+}
+
+// New returns a clock positioned at time zero with no pending events.
+func New() *Clock { return &Clock{} }
+
+// Now reports the current simulated time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Schedule registers fn to run at absolute simulated time at.
+// Scheduling in the past (at < Now) panics: it would silently reorder
+// history and break determinism.
+func (c *Clock) Schedule(at float64, fn func()) {
+	if at < c.now {
+		panic(fmt.Sprintf("simclock: schedule at %.6f before now %.6f", at, c.now))
+	}
+	c.seq++
+	heap.Push(&c.events, event{at: at, seq: c.seq, fn: fn})
+}
+
+// After registers fn to run d seconds from the current simulated time.
+func (c *Clock) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative delay %.6f", d))
+	}
+	c.Schedule(c.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (c *Clock) Step() bool {
+	if len(c.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&c.events).(event)
+	c.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// Pending reports the number of scheduled events not yet executed.
+func (c *Clock) Pending() int { return len(c.events) }
+
+// Advance moves the clock forward by d seconds without running events.
+// It panics if an event would be skipped over.
+func (c *Clock) Advance(d float64) {
+	if d < 0 {
+		panic("simclock: negative advance")
+	}
+	target := c.now + d
+	if len(c.events) > 0 && c.events[0].at < target {
+		panic(fmt.Sprintf("simclock: advance to %.6f would skip event at %.6f", target, c.events[0].at))
+	}
+	c.now = target
+}
+
+// Interval is a weighted time interval [Start, End).
+type Interval struct {
+	Start, End float64
+	Weight     float64
+}
+
+// Recorder accumulates weighted intervals and answers utilization queries
+// over them. It is used to reconstruct the paper's Figs. 11-14 timelines
+// (CPU %, memory %, packets/s, transactions/s) from task and transfer spans.
+type Recorder struct {
+	intervals []Interval
+}
+
+// Add records a weighted interval. Zero-length and zero-weight intervals are
+// kept: they still mark activity endpoints for MaxTime.
+func (r *Recorder) Add(start, end, weight float64) {
+	if end < start {
+		start, end = end, start
+	}
+	r.intervals = append(r.intervals, Interval{Start: start, End: end, Weight: weight})
+}
+
+// Len reports the number of recorded intervals.
+func (r *Recorder) Len() int { return len(r.intervals) }
+
+// MaxTime reports the largest interval end time, or 0 when empty.
+func (r *Recorder) MaxTime() float64 {
+	m := 0.0
+	for _, iv := range r.intervals {
+		if iv.End > m {
+			m = iv.End
+		}
+	}
+	return m
+}
+
+// SampleSum reports the sum of weights of intervals active at instant t.
+// An interval is active on [Start, End); instantaneous intervals
+// (Start == End) are active exactly at Start.
+func (r *Recorder) SampleSum(t float64) float64 {
+	sum := 0.0
+	for _, iv := range r.intervals {
+		if iv.Start == iv.End {
+			if t == iv.Start {
+				sum += iv.Weight
+			}
+			continue
+		}
+		if t >= iv.Start && t < iv.End {
+			sum += iv.Weight
+		}
+	}
+	return sum
+}
+
+// BucketMean reports, for each step-sized bucket of [0, horizon), the
+// time-weighted mean of the active weight sum. This matches "average
+// utilization within each sampling window".
+func (r *Recorder) BucketMean(horizon, step float64) []float64 {
+	if step <= 0 {
+		panic("simclock: BucketMean step must be positive")
+	}
+	n := int(math.Ceil(horizon / step))
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for _, iv := range r.intervals {
+		if iv.Weight == 0 || iv.End <= iv.Start {
+			continue
+		}
+		first := int(iv.Start / step)
+		last := int(math.Ceil(iv.End/step)) - 1
+		if first < 0 {
+			first = 0
+		}
+		for b := first; b <= last && b < n; b++ {
+			lo := math.Max(iv.Start, float64(b)*step)
+			hi := math.Min(iv.End, float64(b+1)*step)
+			if hi > lo {
+				out[b] += iv.Weight * (hi - lo) / step
+			}
+		}
+	}
+	return out
+}
+
+// BucketSum reports, for each step-sized bucket of [0, horizon), the total
+// weight whose interval midpoint falls in the bucket, spread proportionally
+// over the buckets the interval overlaps. Used for rate-style series
+// (packets per second, transactions per second): Weight is a count of
+// events spread uniformly over the interval.
+func (r *Recorder) BucketSum(horizon, step float64) []float64 {
+	if step <= 0 {
+		panic("simclock: BucketSum step must be positive")
+	}
+	n := int(math.Ceil(horizon / step))
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for _, iv := range r.intervals {
+		if iv.Weight == 0 {
+			continue
+		}
+		if iv.End <= iv.Start {
+			b := int(iv.Start / step)
+			if b >= 0 && b < n {
+				out[b] += iv.Weight
+			}
+			continue
+		}
+		span := iv.End - iv.Start
+		first := int(iv.Start / step)
+		last := int(math.Ceil(iv.End/step)) - 1
+		if first < 0 {
+			first = 0
+		}
+		for b := first; b <= last && b < n; b++ {
+			lo := math.Max(iv.Start, float64(b)*step)
+			hi := math.Min(iv.End, float64(b+1)*step)
+			if hi > lo {
+				out[b] += iv.Weight * (hi - lo) / span
+			}
+		}
+	}
+	return out
+}
+
+// Sorted returns a copy of the intervals ordered by start time; useful for
+// deterministic serialization and tests.
+func (r *Recorder) Sorted() []Interval {
+	out := make([]Interval, len(r.intervals))
+	copy(out, r.intervals)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].End < out[j].End
+	})
+	return out
+}

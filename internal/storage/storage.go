@@ -1,0 +1,357 @@
+// Package storage provides the two storage layers the engine relies on:
+//
+//   - BlockStore: an HDFS-like distributed block layout. Input files are
+//     carved into fixed-size blocks placed (with replication) across worker
+//     nodes; the scheduler queries block locations to place input tasks
+//     locally, exactly as Spark does against HDFS.
+//   - MemStore: the block-manager memory store holding persisted (cached)
+//     RDD partitions with per-node capacity and LRU eviction.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"chopper/internal/rdd"
+)
+
+// BlockInfo describes one block of a stored file.
+type BlockInfo struct {
+	Index int
+	Bytes int64
+	Nodes []string // replica locations
+}
+
+// BlockStore models HDFS block placement for logical input files.
+type BlockStore struct {
+	mu         sync.Mutex
+	blockBytes int64
+	replicas   int
+	workers    []string
+	files      map[string][]BlockInfo
+	nextNode   int
+}
+
+// NewBlockStore creates a store with the given block size and replica count
+// over the named worker nodes. Replicas beyond the worker count are clamped.
+func NewBlockStore(blockBytes int64, replicas int, workers []string) *BlockStore {
+	if blockBytes <= 0 {
+		panic("storage: block size must be positive")
+	}
+	if len(workers) == 0 {
+		panic("storage: no worker nodes")
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(workers) {
+		replicas = len(workers)
+	}
+	ws := make([]string, len(workers))
+	copy(ws, workers)
+	sort.Strings(ws)
+	return &BlockStore{
+		blockBytes: blockBytes,
+		replicas:   replicas,
+		workers:    ws,
+		files:      map[string][]BlockInfo{},
+	}
+}
+
+// BlockBytes reports the configured block size.
+func (s *BlockStore) BlockBytes() int64 { return s.blockBytes }
+
+// AddFile registers a logical file of totalBytes, placing its blocks
+// round-robin (with replication) across workers. Re-adding a file replaces
+// its layout deterministically.
+func (s *BlockStore) AddFile(name string, totalBytes int64) []BlockInfo {
+	if totalBytes < 0 {
+		panic(fmt.Sprintf("storage: negative file size %d", totalBytes))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := int((totalBytes + s.blockBytes - 1) / s.blockBytes)
+	if n == 0 {
+		n = 1
+	}
+	blocks := make([]BlockInfo, n)
+	remaining := totalBytes
+	for i := range blocks {
+		sz := s.blockBytes
+		if remaining < sz {
+			sz = remaining
+		}
+		remaining -= sz
+		nodes := make([]string, 0, s.replicas)
+		for r := 0; r < s.replicas; r++ {
+			nodes = append(nodes, s.workers[(i+r)%len(s.workers)])
+		}
+		blocks[i] = BlockInfo{Index: i, Bytes: sz, Nodes: nodes}
+	}
+	s.files[name] = blocks
+	return blocks
+}
+
+// File returns the block layout of a file, or nil if unknown.
+func (s *BlockStore) File(name string) []BlockInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.files[name]
+}
+
+// SplitBytes reports the logical bytes covered by split of numSplits over
+// the file. Splits are byte ranges (like FileInputFormat with a goal size),
+// so they may cover partial blocks: a 7 GB file split 300 ways yields 300
+// near-equal ~24 MB splits even though blocks are 128 MB.
+func (s *BlockStore) SplitBytes(name string, split, numSplits int) int64 {
+	total := s.fileBytes(name)
+	lo, hi := byteRange(total, split, numSplits)
+	return hi - lo
+}
+
+func (s *BlockStore) fileBytes(name string) int64 {
+	var total int64
+	for _, b := range s.File(name) {
+		total += b.Bytes
+	}
+	return total
+}
+
+func byteRange(total int64, split, numSplits int) (int64, int64) {
+	if numSplits <= 0 || split < 0 || split >= numSplits {
+		return 0, 0
+	}
+	lo := int64(split) * total / int64(numSplits)
+	hi := int64(split+1) * total / int64(numSplits)
+	return lo, hi
+}
+
+// SplitLocations reports the nodes holding data of the given split's byte
+// range, ordered by descending bytes held (ties broken by name). Used as
+// task preferred locations.
+func (s *BlockStore) SplitLocations(name string, split, numSplits int) []string {
+	blocks := s.File(name)
+	total := s.fileBytes(name)
+	lo, hi := byteRange(total, split, numSplits)
+	byNode := map[string]int64{}
+	var off int64
+	for _, blk := range blocks {
+		blkLo, blkHi := off, off+blk.Bytes
+		off = blkHi
+		overlapLo, overlapHi := maxI64(lo, blkLo), minI64(hi, blkHi)
+		if overlapHi <= overlapLo {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			byNode[n] += overlapHi - overlapLo
+		}
+	}
+	type nb struct {
+		node  string
+		bytes int64
+	}
+	var list []nb
+	for n, b := range byNode {
+		list = append(list, nb{n, b})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].bytes != list[j].bytes {
+			return list[i].bytes > list[j].bytes
+		}
+		return list[i].node < list[j].node
+	})
+	out := make([]string, len(list))
+	for i, e := range list {
+		out[i] = e.node
+	}
+	return out
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CacheKey identifies a cached RDD partition. Of is the partition count the
+// RDD had when cached: if a configurator later retunes the RDD's
+// partitioning, the old entries stop matching instead of serving content
+// computed under a different partitioner.
+type CacheKey struct {
+	RDD   int
+	Split int
+	Of    int
+}
+
+// CacheEntry is one persisted partition.
+type CacheEntry struct {
+	Key   CacheKey
+	Node  string
+	Bytes int64 // logical bytes
+	Rows  []rdd.Row
+	last  int64
+}
+
+// MemStore is the block-manager memory store: per-node capacity, LRU
+// eviction. Evicted partitions are recomputed on next use (lineage), so
+// eviction is lossy for time but not for correctness.
+type MemStore struct {
+	mu      sync.Mutex
+	cap     map[string]int64
+	used    map[string]int64
+	entries map[CacheKey]*CacheEntry
+	tick    int64
+	// Evictions counts partitions dropped for capacity; a cheap health metric.
+	evictions int64
+}
+
+// NewMemStore creates a store with the given per-node capacity in bytes.
+func NewMemStore(capPerNode map[string]int64) *MemStore {
+	capCopy := map[string]int64{}
+	for k, v := range capPerNode {
+		capCopy[k] = v
+	}
+	return &MemStore{
+		cap:     capCopy,
+		used:    map[string]int64{},
+		entries: map[CacheKey]*CacheEntry{},
+	}
+}
+
+// Put caches a partition on node, evicting least-recently-used entries on
+// that node to make room. Partitions larger than the node capacity are not
+// cached (Spark drops them too). It returns the evicted entries (key and
+// size) so callers can account released memory.
+func (m *MemStore) Put(key CacheKey, node string, bytes int64, rows []rdd.Row) []CacheEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	capacity, ok := m.cap[node]
+	if !ok || bytes > capacity {
+		return nil
+	}
+	if old, ok := m.entries[key]; ok {
+		m.used[old.Node] -= old.Bytes
+		delete(m.entries, key)
+	}
+	var evicted []CacheEntry
+	for m.used[node]+bytes > capacity {
+		victim := m.lruOn(node)
+		if victim == nil {
+			break
+		}
+		m.used[node] -= victim.Bytes
+		delete(m.entries, victim.Key)
+		evicted = append(evicted, CacheEntry{Key: victim.Key, Node: victim.Node, Bytes: victim.Bytes})
+		m.evictions++
+	}
+	m.tick++
+	m.entries[key] = &CacheEntry{Key: key, Node: node, Bytes: bytes, Rows: rows, last: m.tick}
+	m.used[node] += bytes
+	return evicted
+}
+
+func (m *MemStore) lruOn(node string) *CacheEntry {
+	var victim *CacheEntry
+	for _, e := range m.entries {
+		if e.Node != node {
+			continue
+		}
+		if victim == nil || e.last < victim.last ||
+			(e.last == victim.last && lessKey(e.Key, victim.Key)) {
+			victim = e
+		}
+	}
+	return victim
+}
+
+func lessKey(a, b CacheKey) bool {
+	if a.RDD != b.RDD {
+		return a.RDD < b.RDD
+	}
+	return a.Split < b.Split
+}
+
+// Peek returns the cached partition without touching LRU recency. The
+// engine's parallel compute pass uses Peek so cache access order cannot
+// perturb eviction decisions; the sequential accounting pass uses Get.
+func (m *MemStore) Peek(key CacheKey) (*CacheEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	return e, ok
+}
+
+// Get returns the cached partition and marks it recently used.
+func (m *MemStore) Get(key CacheKey) (*CacheEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok {
+		return nil, false
+	}
+	m.tick++
+	e.last = m.tick
+	return e, true
+}
+
+// Location reports the node caching key, if any.
+func (m *MemStore) Location(key CacheKey) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok {
+		return "", false
+	}
+	return e.Node, true
+}
+
+// NodeUsed reports cached bytes on a node.
+func (m *MemStore) NodeUsed(node string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used[node]
+}
+
+// Evictions reports the total evicted partition count.
+func (m *MemStore) Evictions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evictions
+}
+
+// DropNode evicts every partition cached on the given node (node failure:
+// the data is lost and must be recomputed from lineage). It returns the
+// dropped entries so callers can account the released memory.
+func (m *MemStore) DropNode(node string) []CacheEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var dropped []CacheEntry
+	for k, e := range m.entries {
+		if e.Node != node {
+			continue
+		}
+		dropped = append(dropped, CacheEntry{Key: e.Key, Node: e.Node, Bytes: e.Bytes})
+		m.used[node] -= e.Bytes
+		delete(m.entries, k)
+	}
+	delete(m.cap, node)
+	sort.Slice(dropped, func(i, j int) bool { return lessKey(dropped[i].Key, dropped[j].Key) })
+	return dropped
+}
+
+// Clear drops all cached partitions (between experiment runs).
+func (m *MemStore) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = map[CacheKey]*CacheEntry{}
+	m.used = map[string]int64{}
+}

@@ -1,0 +1,196 @@
+// Package trace exports a run's execution history in a Spark-event-log-like
+// JSON form and renders text Gantt charts of stage timelines — the
+// diagnostics surface for inspecting what the scheduler and optimizer did.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"chopper/internal/metrics"
+)
+
+// TaskEvent is one executed task in the exported log.
+type TaskEvent struct {
+	Stage             int     `json:"stage"`
+	Task              int     `json:"task"`
+	Node              string  `json:"node"`
+	Start             float64 `json:"start"`
+	End               float64 `json:"end"`
+	InputBytes        int64   `json:"inputBytes,omitempty"`
+	ShuffleReadLocal  int64   `json:"shuffleReadLocal,omitempty"`
+	ShuffleReadRemote int64   `json:"shuffleReadRemote,omitempty"`
+	ShuffleWrite      int64   `json:"shuffleWrite,omitempty"`
+	Records           int64   `json:"records,omitempty"`
+}
+
+// StageEvent is one executed stage.
+type StageEvent struct {
+	ID           int         `json:"id"`
+	Signature    string      `json:"signature"`
+	Name         string      `json:"name"`
+	Partitioner  string      `json:"partitioner"`
+	NumTasks     int         `json:"numTasks"`
+	Start        float64     `json:"start"`
+	End          float64     `json:"end"`
+	InputBytes   int64       `json:"inputBytes"`
+	ShuffleRead  int64       `json:"shuffleRead"`
+	ShuffleWrite int64       `json:"shuffleWrite"`
+	Tasks        []TaskEvent `json:"tasks,omitempty"`
+}
+
+// Log is a full exported run.
+type Log struct {
+	Workload  string       `json:"workload"`
+	Mode      string       `json:"mode"`
+	TotalTime float64      `json:"totalTime"`
+	Stages    []StageEvent `json:"stages"`
+}
+
+// FromCollector converts a run's metrics into an exportable log.
+// includeTasks controls whether per-task events are kept (they dominate the
+// log size for large stages).
+func FromCollector(col *metrics.Collector, includeTasks bool) *Log {
+	l := &Log{Workload: col.Workload, Mode: col.Mode, TotalTime: col.TotalTime()}
+	for _, st := range col.Stages() {
+		se := StageEvent{
+			ID: st.ID, Signature: st.Signature, Name: st.Name,
+			Partitioner: st.Partitioner, NumTasks: st.NumTasks,
+			Start: st.Start, End: st.End,
+			InputBytes: st.InputBytes, ShuffleRead: st.ShuffleRead, ShuffleWrite: st.ShuffleWrite,
+		}
+		if includeTasks {
+			for _, tm := range st.Tasks {
+				se.Tasks = append(se.Tasks, TaskEvent{
+					Stage: tm.StageID, Task: tm.TaskID, Node: tm.Node,
+					Start: tm.Start, End: tm.End,
+					InputBytes:        tm.InputBytes,
+					ShuffleReadLocal:  tm.ShuffleReadLocal,
+					ShuffleReadRemote: tm.ShuffleReadRemote,
+					ShuffleWrite:      tm.ShuffleWrite,
+					Records:           tm.Records,
+				})
+			}
+		}
+		l.Stages = append(l.Stages, se)
+	}
+	return l
+}
+
+// Write serializes the log as indented JSON.
+func (l *Log) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}
+
+// Save writes the log to a file.
+func (l *Log) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return l.Write(f)
+}
+
+// Load reads a log written by Save.
+func Load(path string) (*Log, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{}
+	if err := json.Unmarshal(data, l); err != nil {
+		return nil, fmt.Errorf("trace: parse %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// Gantt renders a text timeline of the stages: one row per stage, bars
+// proportional to [Start, End) over the run, at the given terminal width.
+func (l *Log) Gantt(width int) string {
+	if width < 40 {
+		width = 40
+	}
+	if len(l.Stages) == 0 {
+		return "(empty run)\n"
+	}
+	total := l.TotalTime
+	if total <= 0 {
+		for _, s := range l.Stages {
+			if s.End > total {
+				total = s.End
+			}
+		}
+	}
+	if total <= 0 {
+		total = 1
+	}
+	bar := width - 34
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-22s %s (0 .. %.0fs)\n", "id", "stage", "timeline", total)
+	for _, s := range l.Stages {
+		lo := int(math.Round(s.Start / total * float64(bar)))
+		hi := int(math.Round(s.End / total * float64(bar)))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > bar {
+			hi = bar
+		}
+		line := strings.Repeat(" ", lo) + strings.Repeat("#", hi-lo) + strings.Repeat(" ", bar-hi)
+		name := s.Name
+		if len(name) > 22 {
+			name = name[:22]
+		}
+		fmt.Fprintf(&b, "%-4d %-22s |%s| %.1fs\n", s.ID, name, line, s.End-s.Start)
+	}
+	return b.String()
+}
+
+// NodeLoad summarizes busy seconds per node from task events (requires a
+// log exported with includeTasks).
+func (l *Log) NodeLoad() map[string]float64 {
+	out := map[string]float64{}
+	for _, st := range l.Stages {
+		for _, t := range st.Tasks {
+			out[t.Node] += t.End - t.Start
+		}
+	}
+	return out
+}
+
+// Summary renders headline counters of the run.
+func (l *Log) Summary() string {
+	var tasks int
+	var shuffleR, shuffleW, input int64
+	for _, s := range l.Stages {
+		tasks += s.NumTasks
+		shuffleR += s.ShuffleRead
+		shuffleW += s.ShuffleWrite
+		input += s.InputBytes
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload=%s mode=%s\n", l.Workload, l.Mode)
+	fmt.Fprintf(&b, "stages=%d tasks=%d simulated=%.1fs\n", len(l.Stages), tasks, l.TotalTime)
+	fmt.Fprintf(&b, "input=%.2fGB shuffleRead=%.2fGB shuffleWrite=%.2fGB\n",
+		float64(input)/1e9, float64(shuffleR)/1e9, float64(shuffleW)/1e9)
+	load := l.NodeLoad()
+	if len(load) > 0 {
+		nodes := make([]string, 0, len(load))
+		for n := range load {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		for _, n := range nodes {
+			fmt.Fprintf(&b, "node %-3s busy %.1f core-seconds\n", n, load[n])
+		}
+	}
+	return b.String()
+}

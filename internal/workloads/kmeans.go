@@ -1,0 +1,241 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chopper/internal/rdd"
+)
+
+// KMeans reproduces the SparkBench KMeans workload with the paper's 20-stage
+// structure (Fig. 2, Table III):
+//
+//	stage 0      heavy input scan + parse + cache (count action)
+//	stage 1      second pass over the cached data (same signature as 0)
+//	stages 2-11  five k-means|| style init rounds, two jobs each
+//	             (sample-centers / evaluate-candidates) — narrow only
+//	stages 12-17 three Lloyd iterations, each a shuffle map stage plus a
+//	             reduce stage (the only shuffling stages, cf. Fig. 4)
+//	stages 18-19 cost (WSSSE) pass and final summary pass
+type KMeans struct {
+	Rows       int // physical points
+	Dim        int // features per point
+	K          int // clusters
+	InitRounds int // sampling rounds (2 stages each)
+	Iterations int // Lloyd iterations (2 stages each)
+	Seed       int64
+}
+
+// NewKMeans returns the paper-shaped KMeans workload.
+func NewKMeans() *KMeans {
+	return &KMeans{Rows: 24000, Dim: 10, K: 8, InitRounds: 5, Iterations: 3, Seed: 1}
+}
+
+// Name implements Workload.
+func (k *KMeans) Name() string { return "kmeans" }
+
+// DefaultInputBytes implements Workload (Table I: 21.8 GB).
+func (k *KMeans) DefaultInputBytes() int64 { return int64(21.8 * GB) }
+
+// point generates the i-th data point: cluster centers on a scaled simplex
+// with deterministic Gaussian noise.
+func (k *KMeans) point(i int) []float64 {
+	c := i % k.K
+	p := make([]float64, k.Dim)
+	for d := 0; d < k.Dim; d++ {
+		center := 0.0
+		if d%k.K == c {
+			center = 10
+		}
+		p[d] = center + detNorm(k.Seed+int64(d), int64(i))
+	}
+	return p
+}
+
+// sumCount is the combiner value of the Lloyd reduce: vector sum + count.
+type sumCount struct {
+	Sum []float64
+	N   int64
+}
+
+// LogicalBytes implements rdd.Sizer.
+func (s sumCount) LogicalBytes() int64 { return int64(8*len(s.Sum)) + 16 }
+
+// ScaleInvariant implements rdd.ScaleInvariant: a per-cluster sum has the
+// same size no matter how much data produced it.
+func (s sumCount) ScaleInvariant() bool { return true }
+
+// contentHash derives a stable 64-bit hash from a point's coordinates.
+func contentHash(p []float64, seed int64) uint64 {
+	h := uint64(seed) * 0x9e3779b97f4a7c15
+	for _, v := range p {
+		h ^= math.Float64bits(v)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 29
+	}
+	return h
+}
+
+func nearest(p []float64, centers [][]float64) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for c, ctr := range centers {
+		d := 0.0
+		for j := range p {
+			diff := p[j] - ctr[j]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// Run implements Workload.
+func (k *KMeans) Run(ctx *rdd.Context, inputBytes int64) (Result, error) {
+	physRow := int64(8*k.Dim) + 16
+	setScale(ctx, inputBytes, int64(k.Rows)*physRow)
+
+	source := ctx.Generate("kmeansInput", 0, inputBytes, func(split, total int) []rdd.Row {
+		var rows []rdd.Row
+		strideRows(k.Rows, split, total, func(i int) {
+			rows = append(rows, k.point(i))
+		})
+		return rows
+	})
+	// Stage 0/1: parse is the expensive text-to-vector conversion in
+	// SparkBench; cost factor calibrated to the paper's long stage 0.
+	points := source.MapCost("parsePoint", 15.0, func(r rdd.Row) rdd.Row { return r }).Cache()
+
+	if _, err := points.Count(); err != nil { // stage 0
+		return Result{}, err
+	}
+	if _, err := points.Count(); err != nil { // stage 1 (cached pass)
+		return Result{}, err
+	}
+
+	// Stages 2-11: k-means|| init — alternating sample and evaluate jobs.
+	// Candidate selection hashes point content, so the chosen centers are
+	// independent of how the data is partitioned (unlike split-seeded
+	// sampling, which would make results depend on the partition count).
+	var centers [][]float64
+	for r := 0; r < k.InitRounds; r++ {
+		round := int64(r)
+		sampled, err := points.Filter(func(row rdd.Row) bool {
+			return contentHash(row.([]float64), k.Seed+round)%1000 < 2
+		}).Collect() // stages 2,4,...
+		if err != nil {
+			return Result{}, err
+		}
+		// Order candidates content-deterministically: Collect order follows
+		// partition layout, which must not leak into the chosen centers.
+		sort.Slice(sampled, func(a, b int) bool {
+			return contentHash(sampled[a].([]float64), k.Seed) < contentHash(sampled[b].([]float64), k.Seed)
+		})
+		for _, row := range sampled {
+			if len(centers) < k.K {
+				centers = append(centers, row.([]float64))
+			}
+		}
+		cur := centers
+		// Evaluate candidate quality (stages 3,5,...): distance scan.
+		eval := points.MapCost("scoreCandidates", 0.8, func(r rdd.Row) rdd.Row {
+			if len(cur) == 0 {
+				return 0.0
+			}
+			_, d := nearest(r.([]float64), cur)
+			return d
+		})
+		if _, err := eval.SumFloat(); err != nil {
+			return Result{}, err
+		}
+	}
+	if len(centers) < k.K {
+		return Result{}, fmt.Errorf("kmeans: init produced %d centers, need %d", len(centers), k.K)
+	}
+	centers = centers[:k.K]
+
+	// Stages 12-17: Lloyd iterations (assign+partial-sum map, merge reduce).
+	for it := 0; it < k.Iterations; it++ {
+		cur := centers
+		assigned := points.MapPartitions("assign", 1.2, func(_ int, rows []rdd.Row) []rdd.Row {
+			partial := map[int]*sumCount{}
+			for _, r := range rows {
+				p := r.([]float64)
+				c, _ := nearest(p, cur)
+				sc, ok := partial[c]
+				if !ok {
+					sc = &sumCount{Sum: make([]float64, len(p))}
+					partial[c] = sc
+				}
+				for j := range p {
+					sc.Sum[j] += p[j]
+				}
+				sc.N++
+			}
+			var out []rdd.Row
+			for c := 0; c < len(cur); c++ {
+				if sc, ok := partial[c]; ok {
+					out = append(out, rdd.Pair{K: c, V: *sc})
+				}
+			}
+			return out
+		})
+		merged := assigned.ReduceByKey(func(a, b any) any {
+			x, y := a.(sumCount), b.(sumCount)
+			sum := make([]float64, len(x.Sum))
+			for j := range sum {
+				sum[j] = x.Sum[j] + y.Sum[j]
+			}
+			return sumCount{Sum: sum, N: x.N + y.N}
+		}, 0)
+		byCluster, err := merged.CollectPairsMap()
+		if err != nil {
+			return Result{}, err
+		}
+		next := make([][]float64, len(centers))
+		for c := range next {
+			next[c] = centers[c]
+			if v, ok := byCluster[c]; ok {
+				sc := v.(sumCount)
+				if sc.N > 0 {
+					ctr := make([]float64, len(sc.Sum))
+					for j := range ctr {
+						ctr[j] = sc.Sum[j] / float64(sc.N)
+					}
+					next[c] = ctr
+				}
+			}
+		}
+		centers = next
+	}
+
+	// Stage 18: WSSSE pass.
+	final := centers
+	wsse, err := points.MapCost("wssse", 0.8, func(r rdd.Row) rdd.Row {
+		_, d := nearest(r.([]float64), final)
+		return d
+	}).SumFloat()
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Stage 19: summary pass (count points in the dominant half-space).
+	dominant, err := points.Filter(func(r rdd.Row) bool {
+		c, _ := nearest(r.([]float64), final)
+		return c < k.K/2
+	}).Count()
+	if err != nil {
+		return Result{}, err
+	}
+
+	return Result{
+		Checksum: wsse + float64(dominant),
+		Details: map[string]float64{
+			"wssse":    wsse,
+			"dominant": float64(dominant),
+			"rows":     float64(k.Rows),
+		},
+	}, nil
+}

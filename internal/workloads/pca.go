@@ -1,0 +1,249 @@
+package workloads
+
+import (
+	"fmt"
+
+	"chopper/internal/linalg"
+	"chopper/internal/rdd"
+)
+
+// PCA reproduces the SparkBench PCA workload: a compute- and network-
+// intensive pipeline that extracts the top principal components of a
+// correlated dataset through multiple shuffling iterations:
+//
+//	stage 0       parse + cache (count)
+//	stages 1-2    mean vector (map + reduce)
+//	stages 3-4    covariance accumulation (map + reduce)
+//	stages 5...   distributed power iterations, 2 stages each
+//	final stage   projection pass over the data
+type PCA struct {
+	Rows       int
+	Dim        int
+	Components int
+	PowerIters int // distributed iterations per component
+	Seed       int64
+}
+
+// NewPCA returns the paper-shaped PCA workload.
+func NewPCA() *PCA {
+	return &PCA{Rows: 20000, Dim: 12, Components: 2, PowerIters: 3, Seed: 2}
+}
+
+// Name implements Workload.
+func (p *PCA) Name() string { return "pca" }
+
+// DefaultInputBytes implements Workload (Table I: 27.6 GB).
+func (p *PCA) DefaultInputBytes() int64 { return int64(27.6 * GB) }
+
+// vector generates the i-th sample: a low-rank signal plus noise, so the
+// data genuinely has dominant principal components.
+func (p *PCA) vector(i int) []float64 {
+	v := make([]float64, p.Dim)
+	s1 := detNorm(p.Seed, int64(i)) * 5
+	s2 := detNorm(p.Seed+99, int64(i)) * 2
+	for d := 0; d < p.Dim; d++ {
+		v[d] = s1*float64((d%3)+1)/3 + s2*float64(d%2) + detNorm(p.Seed+int64(d)+7, int64(i))*0.5
+	}
+	return v
+}
+
+// vecVal is a vector combiner value with a count.
+type vecVal struct {
+	Vec []float64
+	N   int64
+}
+
+// LogicalBytes implements rdd.Sizer.
+func (v vecVal) LogicalBytes() int64 { return int64(8*len(v.Vec)) + 16 }
+
+// ScaleInvariant implements rdd.ScaleInvariant.
+func (v vecVal) ScaleInvariant() bool { return true }
+
+// matVal is a packed symmetric-matrix combiner value.
+type matVal struct {
+	M []float64 // row-major dim x dim
+	N int64
+}
+
+// LogicalBytes implements rdd.Sizer.
+func (m matVal) LogicalBytes() int64 { return int64(8*len(m.M)) + 16 }
+
+// ScaleInvariant implements rdd.ScaleInvariant.
+func (m matVal) ScaleInvariant() bool { return true }
+
+func addVecs(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Run implements Workload.
+func (p *PCA) Run(ctx *rdd.Context, inputBytes int64) (Result, error) {
+	physRow := int64(8*p.Dim) + 16
+	setScale(ctx, inputBytes, int64(p.Rows)*physRow)
+
+	source := ctx.Generate("pcaInput", 0, inputBytes, func(split, total int) []rdd.Row {
+		var rows []rdd.Row
+		strideRows(p.Rows, split, total, func(i int) {
+			rows = append(rows, p.vector(i))
+		})
+		return rows
+	})
+	vectors := source.MapCost("parseVector", 5.0, func(r rdd.Row) rdd.Row { return r }).Cache()
+	n, err := vectors.Count() // stage 0
+	if err != nil {
+		return Result{}, err
+	}
+	if n == 0 {
+		return Result{}, fmt.Errorf("pca: empty input")
+	}
+
+	// Stages 1-2: mean vector.
+	meanJob := vectors.MapPartitions("partialMean", 0.5, func(_ int, rows []rdd.Row) []rdd.Row {
+		sum := make([]float64, p.Dim)
+		var cnt int64
+		for _, r := range rows {
+			v := r.([]float64)
+			for j := range v {
+				sum[j] += v[j]
+			}
+			cnt++
+		}
+		return []rdd.Row{rdd.Pair{K: 0, V: vecVal{Vec: sum, N: cnt}}}
+	}).ReduceByKey(func(a, b any) any {
+		x, y := a.(vecVal), b.(vecVal)
+		return vecVal{Vec: addVecs(x.Vec, y.Vec), N: x.N + y.N}
+	}, 0)
+	meanRes, err := meanJob.CollectPairsMap()
+	if err != nil {
+		return Result{}, err
+	}
+	mv := meanRes[0].(vecVal)
+	mean := make([]float64, p.Dim)
+	for j := range mean {
+		mean[j] = mv.Vec[j] / float64(mv.N)
+	}
+
+	// Stages 3-4: covariance matrix accumulation (heavy outer products).
+	covJob := vectors.MapPartitions("outerProducts", 3.5, func(_ int, rows []rdd.Row) []rdd.Row {
+		acc := make([]float64, p.Dim*p.Dim)
+		var cnt int64
+		for _, r := range rows {
+			v := r.([]float64)
+			for a := 0; a < p.Dim; a++ {
+				da := v[a] - mean[a]
+				for b := 0; b < p.Dim; b++ {
+					acc[a*p.Dim+b] += da * (v[b] - mean[b])
+				}
+			}
+			cnt++
+		}
+		return []rdd.Row{rdd.Pair{K: 0, V: matVal{M: acc, N: cnt}}}
+	}).ReduceByKey(func(a, b any) any {
+		x, y := a.(matVal), b.(matVal)
+		m := make([]float64, len(x.M))
+		for i := range m {
+			m[i] = x.M[i] + y.M[i]
+		}
+		return matVal{M: m, N: x.N + y.N}
+	}, 0)
+	covRes, err := covJob.CollectPairsMap()
+	if err != nil {
+		return Result{}, err
+	}
+	cv := covRes[0].(matVal)
+	cov := linalg.NewMatrix(p.Dim, p.Dim)
+	for a := 0; a < p.Dim; a++ {
+		for b := 0; b < p.Dim; b++ {
+			cov.Set(a, b, cv.M[a*p.Dim+b]/float64(cv.N))
+		}
+	}
+
+	// Distributed power iterations: each refines the current component by a
+	// cluster pass computing X'(Xv) partials (2 stages per iteration).
+	var comps [][]float64
+	var eigvals []float64
+	work := cov.Clone()
+	for c := 0; c < p.Components; c++ {
+		v := make([]float64, p.Dim)
+		for j := range v {
+			v[j] = 1
+		}
+		for it := 0; it < p.PowerIters; it++ {
+			cur := v
+			iter := vectors.MapPartitions("powerStep", 2.0, func(_ int, rows []rdd.Row) []rdd.Row {
+				acc := make([]float64, p.Dim)
+				for _, r := range rows {
+					x := r.([]float64)
+					dot := 0.0
+					for j := range x {
+						dot += (x[j] - mean[j]) * cur[j]
+					}
+					for j := range x {
+						acc[j] += dot * (x[j] - mean[j])
+					}
+				}
+				// Deflate previously extracted components.
+				for ci, comp := range comps {
+					proj := linalg.Dot(acc, comp)
+					_ = ci
+					for j := range acc {
+						acc[j] -= proj * comp[j]
+					}
+				}
+				return []rdd.Row{rdd.Pair{K: 0, V: vecVal{Vec: acc, N: 1}}}
+			}).ReduceByKey(func(a, b any) any {
+				x, y := a.(vecVal), b.(vecVal)
+				return vecVal{Vec: addVecs(x.Vec, y.Vec), N: x.N + y.N}
+			}, 0)
+			res, err := iter.CollectPairsMap()
+			if err != nil {
+				return Result{}, err
+			}
+			acc := res[0].(vecVal).Vec
+			norm := linalg.Norm2(acc)
+			if norm == 0 {
+				return Result{}, fmt.Errorf("pca: power iteration degenerated")
+			}
+			for j := range acc {
+				acc[j] /= norm
+			}
+			v = acc
+		}
+		sv := work.MulVec(v)
+		eigvals = append(eigvals, linalg.Dot(v, sv))
+		comps = append(comps, v)
+	}
+
+	// Final stage: project the data and sum squared projections.
+	energy, err := vectors.MapCost("project", 1.2, func(r rdd.Row) rdd.Row {
+		x := r.([]float64)
+		s := 0.0
+		for _, comp := range comps {
+			dot := 0.0
+			for j := range x {
+				dot += (x[j] - mean[j]) * comp[j]
+			}
+			s += dot * dot
+		}
+		return s
+	}).SumFloat()
+	if err != nil {
+		return Result{}, err
+	}
+
+	sum := 0.0
+	for _, ev := range eigvals {
+		sum += ev
+	}
+	return Result{
+		Checksum: energy,
+		Details: map[string]float64{
+			"eigsum": sum,
+			"energy": energy,
+			"rows":   float64(p.Rows),
+		},
+	}, nil
+}
