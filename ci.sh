@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# ci.sh — the canonical verify pipeline for this repository.
+#
+# Tier-1 (ROADMAP.md) is `go build ./... && go test ./...`; this script is
+# the full gate: vet, the chopperlint determinism/correctness suite, the
+# race detector over every internal package, and a short native-fuzz run of
+# the execution engine against its single-threaded oracle.
+#
+# Every step must pass for a change to land. chopperlint exits non-zero on
+# any finding; see DESIGN.md ("Determinism invariants & linting") for the
+# rule catalogue and the //lint:ignore suppression syntax.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== chopperlint =="
+go run ./cmd/chopperlint ./...
+
+echo "== test =="
+go test ./...
+
+echo "== race =="
+go test -race ./internal/...
+
+echo "== fuzz (5s) =="
+go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/exec
+
+echo "CI OK"

@@ -1,0 +1,87 @@
+// Command chopperlint runs the repository's determinism & correctness
+// static-analysis suite (internal/lint) over the module's non-test
+// packages and exits non-zero on any finding.
+//
+// Usage:
+//
+//	chopperlint [-json] [packages]
+//
+// Packages default to ./... relative to the enclosing module root. The
+// -json flag emits findings as a JSON array instead of compiler-style
+// text lines. Exit status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"chopper/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Parse()
+	os.Exit(run(flag.Args(), *jsonOut))
+}
+
+func run(patterns []string, jsonOut bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return fail(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		return fail(err)
+	}
+	ld, err := lint.NewLoader(root)
+	if err != nil {
+		return fail(err)
+	}
+	dirs, err := ld.Match(patterns)
+	if err != nil {
+		return fail(err)
+	}
+	if len(dirs) == 0 {
+		return fail(fmt.Errorf("no packages match %v", patterns))
+	}
+
+	var diags []lint.Diagnostic
+	for _, dir := range dirs {
+		pkg, err := ld.Load(dir)
+		if err != nil {
+			return fail(err)
+		}
+		diags = append(diags, lint.Run(pkg, lint.All())...)
+	}
+	// Report module-relative paths: stable across machines and CI.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil {
+			diags[i].File = rel
+		}
+	}
+
+	if jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			return fail(err)
+		}
+	} else if err := lint.WriteText(os.Stdout, diags); err != nil {
+		return fail(err)
+	}
+	if len(diags) > 0 {
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "chopperlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "chopperlint:", err)
+	return 2
+}

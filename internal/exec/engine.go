@@ -610,14 +610,18 @@ func (e *Engine) taskDuration(t *task, node *cluster.Node) float64 {
 			d += float64(t.srcBytes) * p.NetSecPerByte(node, e.bottleneckPeer(node))
 		}
 	}
-	for n, b := range t.cacheBy {
+	// Accumulate in sorted key order: float addition is not associative, so
+	// summing in map order would leak iteration order into the timings.
+	for _, n := range sortedKeys(t.cacheBy) {
+		b := t.cacheBy[n]
 		if n == node.Name {
 			d += p.MemReadSec(float64(b))
 		} else {
 			d += float64(b) * p.NetSecPerByte(node, e.nodeOrSelf(n, node))
 		}
 	}
-	for n, b := range t.shufBy {
+	for _, n := range sortedKeys(t.shufBy) {
+		b := t.shufBy[n]
 		if n == node.Name {
 			d += p.DiskReadSec(float64(b))
 		} else {
@@ -729,6 +733,15 @@ func (e *Engine) commitPass(stages []*dag.Stage, tasks []*task, start float64, r
 		}
 	}
 	return end, firstErr
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func sumBytes(m map[string]int64) int64 {

@@ -139,6 +139,31 @@ func TestQuickRandomPipelinesUnderForcedRepartitioning(t *testing.T) {
 	}
 }
 
+// FuzzEngineMatchesOracle is the native-fuzzing form of the quick property
+// above: the fuzzer mutates the pipeline seed, and any divergence between
+// the cluster engine and the single-threaded reference evaluator fails.
+// ci.sh runs it briefly (-fuzztime=5s); `go test -fuzz=Fuzz ./internal/exec`
+// explores further.
+func FuzzEngineMatchesOracle(f *testing.F) {
+	for _, seed := range []uint32{0, 1, 7, 42, 1234, 987654} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seedRaw uint32) {
+		seed := int64(seedRaw)
+		h := newHarness(seed%2 == 0, nil)
+		engineOut := summarize(t, buildRandomPipeline(h.ctx, seed))
+
+		lctx := rdd.NewContext(6)
+		lctx.LogicalScale = 1000
+		lctx.SetRunner(rdd.NewLocalRunner())
+		oracleOut := summarize(t, buildRandomPipeline(lctx, seed))
+
+		if !reflect.DeepEqual(engineOut, oracleOut) {
+			t.Fatalf("seed %d diverged:\n engine %v\n oracle %v", seed, engineOut, oracleOut)
+		}
+	})
+}
+
 type staticAll struct{ n int }
 
 func (s staticAll) Scheme(string) (dag.SchemeSpec, bool) {

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// droppedErrAllowed are callees whose error results are documented to be
+// always nil (or write to stdout, where failure is unactionable). Anything
+// else must be handled or explicitly assigned to _.
+var droppedErrAllowed = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+// droppedErrAllowedRecv are receiver types whose methods never return a
+// non-nil error (strings.Builder, bytes.Buffer) or whose write errors are
+// sticky and surfaced by a later Flush (bufio.Writer).
+var droppedErrAllowedRecv = []string{
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+	"(*bufio.Writer).",
+}
+
+// DroppedErr flags expression-statement calls whose error result is
+// silently discarded.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "forbid call statements that silently discard an error result",
+	Run: func(f *File) []Diagnostic {
+		if f.Info == nil {
+			return nil
+		}
+		var diags []Diagnostic
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			t := f.typeOf(call)
+			if t == nil || !resultHasError(t) || allowedCallee(f, call) {
+				return true
+			}
+			diags = append(diags, f.diag(call.Pos(), "droppederr",
+				fmt.Sprintf("error result of %s is discarded; handle it or assign it to _ explicitly", calleeLabel(call))))
+			return true
+		})
+		return diags
+	},
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func resultHasError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errorType)
+}
+
+// allowedCallee consults the allowlists; fmt.Fprint* calls are additionally
+// allowed when their destination is a never-failing in-memory writer
+// (*strings.Builder, *bytes.Buffer), a sticky-error *bufio.Writer, or a
+// process standard stream (best-effort diagnostics).
+func allowedCallee(f *File, call *ast.CallExpr) bool {
+	fn := calleeFunc(f, call)
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	if droppedErrAllowed[full] {
+		return true
+	}
+	for _, prefix := range droppedErrAllowedRecv {
+		if strings.HasPrefix(full, prefix) {
+			return true
+		}
+	}
+	if strings.HasPrefix(full, "fmt.Fprint") && len(call.Args) > 0 {
+		switch {
+		case isStdStream(call.Args[0]):
+			return true
+		default:
+			if t := f.typeOf(call.Args[0]); t != nil {
+				switch t.String() {
+				case "*strings.Builder", "*bytes.Buffer", "*bufio.Writer":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isStdStream matches the expressions os.Stderr and os.Stdout.
+func isStdStream(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == "os" && (sel.Sel.Name == "Stderr" || sel.Sel.Name == "Stdout")
+}
+
+func calleeFunc(f *File, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := f.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeLabel renders a short human-readable name for the call target.
+func calleeLabel(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

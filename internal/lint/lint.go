@@ -1,0 +1,247 @@
+// Package lint implements chopperlint, the repository's determinism and
+// correctness static-analysis suite. The simulator's headline guarantee —
+// identical DAGs, seeds and topology produce bit-identical stage timings —
+// only holds if the engine never reads the wall clock, never draws from the
+// global (unseeded) math/rand stream, and never lets Go's randomized map
+// iteration order leak into scheduling or accounting decisions. Each of
+// those invariants is enforced here as a machine-checked rule over the
+// non-test source tree:
+//
+//	walltime   — no time.Now/Since/Sleep/... in the simulation packages
+//	globalrand — no package-level math/rand calls anywhere in library code
+//	maporder   — no order-sensitive statements inside `range` over a map in
+//	             decision-making packages (dag, core, exec)
+//	droppederr — no call whose error result is silently discarded
+//
+// Findings can be suppressed with a trailing or preceding comment of the
+// form `//lint:ignore <rule> <reason>`; the reason is mandatory.
+//
+// The suite is stdlib-only (go/parser, go/ast, go/token, go/types) so the
+// module keeps its zero-dependency property.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressable as file:line:col.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional compiler format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// File is one parsed and (best-effort) type-checked source file handed to
+// analyzers. Info may be partially filled when type checking saw errors;
+// analyzers must degrade gracefully on missing type facts.
+type File struct {
+	Fset *token.FileSet
+	AST  *ast.File
+	// Path is the import path of the enclosing package; path-scoped rules
+	// (walltime, maporder) use it to decide applicability.
+	Path string
+	Info *types.Info
+}
+
+// diag builds a Diagnostic at the given position.
+func (f *File) diag(pos token.Pos, rule, msg string) Diagnostic {
+	p := f.Fset.Position(pos)
+	return Diagnostic{File: p.Filename, Line: p.Line, Col: p.Column, Rule: rule, Message: msg}
+}
+
+// pkgName reports whether id refers to an imported package (rather than a
+// local identifier shadowing one). With no type information it falls back to
+// trusting the name match.
+func (f *File) pkgName(id *ast.Ident) bool {
+	if f.Info == nil {
+		return true
+	}
+	obj, ok := f.Info.Uses[id]
+	if !ok {
+		return true
+	}
+	_, isPkg := obj.(*types.PkgName)
+	return isPkg
+}
+
+// typeOf returns the type of e, or nil when type checking could not
+// determine it.
+func (f *File) typeOf(e ast.Expr) types.Type {
+	if f.Info == nil {
+		return nil
+	}
+	return f.Info.TypeOf(e)
+}
+
+// Analyzer is one lint rule: a name (used in diagnostics and suppression
+// directives), a short description, and a per-file run function.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(f *File) []Diagnostic
+}
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{WallTime, GlobalRand, MapOrder, DroppedErr}
+}
+
+// Package is a loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Path  string
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// Run applies the analyzers to every file of pkg, filters suppressed
+// findings, and returns the rest sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, astFile := range pkg.Files {
+		f := &File{Fset: pkg.Fset, AST: astFile, Path: pkg.Path, Info: pkg.Info}
+		sup := suppressions(f)
+		for _, a := range analyzers {
+			for _, d := range a.Run(f) {
+				if sup.covers(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	// Nested constructs (a map range inside a map range) can report the
+	// same finding twice; keep one.
+	dedup := out[:0]
+	for i, d := range out {
+		if i > 0 && d == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup
+}
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	line int
+	rule string
+}
+
+type suppressionSet []suppression
+
+// suppressions extracts every well-formed `//lint:ignore <rule> <reason>`
+// directive of the file. Directives without a reason are ignored (and the
+// finding therefore stands), which keeps suppressions self-documenting.
+func suppressions(f *File) suppressionSet {
+	var out suppressionSet
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "lint:ignore ") {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) < 3 {
+				continue
+			}
+			out = append(out, suppression{line: f.Fset.Position(c.Pos()).Line, rule: fields[1]})
+		}
+	}
+	return out
+}
+
+// covers reports whether a directive on the diagnostic's line, or on the
+// line directly above it, names the diagnostic's rule (or "all").
+func (s suppressionSet) covers(d Diagnostic) bool {
+	for _, sup := range s {
+		if sup.rule != d.Rule && sup.rule != "all" {
+			continue
+		}
+		if sup.line == d.Line || sup.line == d.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteText renders diagnostics one per line in compiler format.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders diagnostics as an indented JSON array (the -json mode).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}
+
+// importNames returns the local names under which path is imported in the
+// file (usually one: the package's base name, or its rename). Blank and dot
+// imports yield no usable name and are skipped.
+func importNames(file *ast.File, path string) map[string]bool {
+	out := map[string]bool{}
+	for _, imp := range file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "_" || name == "." {
+			continue
+		}
+		out[name] = true
+	}
+	return out
+}
+
+// pathIs reports whether importPath is one of the given package paths.
+func pathIs(importPath string, pkgs []string) bool {
+	for _, p := range pkgs {
+		if importPath == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// mapOrderPkgs are the decision-making packages where map iteration order
+// must never influence an externally visible result: scheduling, planning
+// and optimization all run there.
+var mapOrderPkgs = []string{
+	"chopper/internal/dag",
+	"chopper/internal/core",
+	"chopper/internal/exec",
+}
+
+// MapOrder flags order-sensitive statements inside `range` over a map:
+// appends to an outer slice (unless the slice is sorted afterwards in the
+// same block), channel sends, returns, and floating-point accumulation
+// (float addition is not associative, so the summation order — i.e. the
+// randomized map order — leaks into the low bits of the result).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-sensitive statements inside range over a map in decision-making packages",
+	Run: func(f *File) []Diagnostic {
+		if !pathIs(f.Path, mapOrderPkgs) {
+			return nil
+		}
+		var diags []Diagnostic
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			list := stmtList(n)
+			if list == nil {
+				return true
+			}
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapExpr(f, rs.X) {
+					continue
+				}
+				diags = append(diags, checkMapRange(f, rs, list[i+1:])...)
+			}
+			return true
+		})
+		return diags
+	},
+}
+
+// stmtList extracts the statement list of block-like nodes.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List
+	case *ast.CaseClause:
+		return b.Body
+	case *ast.CommClause:
+		return b.Body
+	}
+	return nil
+}
+
+func isMapExpr(f *File, e ast.Expr) bool {
+	t := f.typeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects the body of one map-range statement. following is
+// the tail of the enclosing statement list, used for the collect-then-sort
+// exemption.
+func checkMapRange(f *File, rs *ast.RangeStmt, following []ast.Stmt) []Diagnostic {
+	type appendHit struct {
+		pos    token.Pos
+		target string
+	}
+	var appends []appendHit
+	var diags []Diagnostic
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			// A closure's body runs when called, not per iteration.
+			return false
+		case *ast.ReturnStmt:
+			diags = append(diags, f.diag(s.Pos(), "maporder",
+				"return inside range over a map: iteration order is nondeterministic; collect and sort the keys first"))
+		case *ast.SendStmt:
+			diags = append(diags, f.diag(s.Pos(), "maporder",
+				"channel send inside range over a map: delivery order is nondeterministic; collect and sort the keys first"))
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ASSIGN:
+				for i, rhs := range s.Rhs {
+					if i >= len(s.Lhs) || !isAppendCall(rhs) {
+						continue
+					}
+					id := rootIdent(s.Lhs[i])
+					if id != nil && declaredBefore(f, id, rs.Pos()) {
+						appends = append(appends, appendHit{pos: s.Pos(), target: id.Name})
+					}
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(s.Lhs) != 1 || !isFloatExpr(f, s.Lhs[0]) {
+					break
+				}
+				id := rootIdent(s.Lhs[0])
+				if id != nil && declaredBefore(f, id, rs.Pos()) {
+					diags = append(diags, f.diag(s.Pos(), "maporder",
+						fmt.Sprintf("floating-point accumulation into %s inside range over a map is order-sensitive; iterate over sorted keys", id.Name)))
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(rs.Body, walk)
+
+	for _, a := range appends {
+		if sortedAfter(following, a.target) {
+			continue
+		}
+		diags = append(diags, f.diag(a.pos, "maporder",
+			fmt.Sprintf("append to %s inside range over a map without a later sort: element order is nondeterministic", a.target)))
+	}
+	return diags
+}
+
+func isAppendCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// rootIdent unwraps selectors, indexes, stars and parens to the base
+// identifier of an lvalue.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredBefore reports whether id's object was declared before pos (i.e.
+// outside the loop body). Without type information it answers true, which
+// errs on the side of flagging.
+func declaredBefore(f *File, id *ast.Ident, pos token.Pos) bool {
+	if f.Info == nil {
+		return true
+	}
+	obj := f.Info.Uses[id]
+	if obj == nil {
+		obj = f.Info.Defs[id]
+	}
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < pos
+}
+
+func isFloatExpr(f *File, e ast.Expr) bool {
+	t := f.typeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sortedAfter reports whether a later statement in the enclosing block
+// passes target to a sort/slices call — the canonical collect-then-sort
+// pattern that makes the collected order deterministic.
+func sortedAfter(following []ast.Stmt, target string) bool {
+	for _, stmt := range following {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, ok := a.(*ast.Ident); ok && id.Name == target {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

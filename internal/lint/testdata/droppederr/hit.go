@@ -1,0 +1,20 @@
+package de
+
+import (
+	"os"
+	"strconv"
+)
+
+// Cleanup discards os.Remove's error.
+func Cleanup(path string) {
+	os.Remove(path)
+}
+
+// Chain discards an error from a local helper.
+func Chain(s string) {
+	parse(s)
+}
+
+func parse(s string) (int, error) {
+	return strconv.Atoi(s)
+}

@@ -1,0 +1,10 @@
+package de
+
+import "os"
+
+// BestEffort removes a scratch file; failure leaves garbage behind but
+// cannot affect correctness, so the drop is documented.
+func BestEffort(path string) {
+	//lint:ignore droppederr best-effort scratch cleanup
+	os.Remove(path)
+}

@@ -1,0 +1,16 @@
+package gr
+
+import "math/rand"
+
+// Pick draws from the process-global rand stream: the sequence depends on
+// every other caller in the binary, so results are irreproducible.
+func Pick(n int) int {
+	return rand.Intn(n)
+}
+
+// Noise mixes two more global draws.
+func Noise() float64 {
+	v := rand.Float64()
+	rand.Shuffle(3, func(i, j int) {})
+	return v
+}

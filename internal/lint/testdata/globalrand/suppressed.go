@@ -1,0 +1,10 @@
+package gr
+
+import "math/rand"
+
+// Jitter uses the global stream on purpose: it feeds a log-only backoff
+// that never influences simulation output.
+func Jitter(n int) int {
+	//lint:ignore globalrand log-only backoff, never affects results
+	return rand.Intn(n)
+}

@@ -1,0 +1,35 @@
+package mo
+
+import "sort"
+
+// CollectSorted is the canonical pattern: collect the keys, sort them,
+// then use the deterministic order.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CountInts accumulates integers, which is order-insensitive.
+func CountInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// LocalAppend appends to a slice declared inside the loop body, which
+// cannot observe iteration order across elements.
+func LocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,35 @@
+package mo
+
+// CollectUnsorted builds a slice in map order and never sorts it.
+func CollectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SumFloats accumulates floats in map order: addition is not associative,
+// so the low bits depend on iteration order.
+func SumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// FirstKey returns whichever key the runtime happens to yield first.
+func FirstKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// Feed sends keys on a channel in map order.
+func Feed(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k
+	}
+}

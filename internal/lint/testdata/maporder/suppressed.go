@@ -1,0 +1,11 @@
+package mo
+
+// AnyKey legitimately wants an arbitrary element (existence check), so the
+// nondeterministic pick is documented and suppressed.
+func AnyKey(m map[string]int) (string, bool) {
+	for k := range m {
+		//lint:ignore maporder any element works, caller only checks existence
+		return k, true
+	}
+	return "", false
+}

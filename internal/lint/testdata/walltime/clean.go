@@ -1,0 +1,14 @@
+package wt
+
+import "time"
+
+// Span builds a simulated duration: constructing time values is fine, only
+// observing the wall clock is banned.
+func Span(n int) time.Duration {
+	return time.Duration(n) * time.Second
+}
+
+// Epoch formats a fixed instant.
+func Epoch() string {
+	return time.Unix(0, 0).UTC().Format(time.RFC3339)
+}

@@ -1,0 +1,18 @@
+package wt
+
+import "time"
+
+// Stamp reads the wall clock, which the simulation packages must never do.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Wait blocks on real time.
+func Wait() {
+	time.Sleep(time.Millisecond)
+}
+
+// Elapsed measures real time twice over.
+func Elapsed(start time.Time) (time.Duration, <-chan time.Time) {
+	return time.Since(start), time.After(time.Second)
+}

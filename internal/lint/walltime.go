@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// wallTimePkgs are the simulation packages where wall-clock reads would
+// corrupt reproducibility: every duration there must be derived from the
+// cost model and flow through the simulated clock (internal/simclock).
+var wallTimePkgs = []string{
+	"chopper/internal/exec",
+	"chopper/internal/dag",
+	"chopper/internal/cluster",
+	"chopper/internal/shuffle",
+	"chopper/internal/rdd",
+	"chopper/internal/core",
+	"chopper/internal/simclock",
+}
+
+// wallTimeFuncs are the time-package entry points that read or wait on the
+// wall clock. Pure types and constructors (time.Duration, time.Unix, ...)
+// stay allowed: only clock observation is banned.
+var wallTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallTime flags wall-clock reads in the simulation packages.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/Since/Sleep/... in simulation packages; simulated time must come from internal/simclock",
+	Run: func(f *File) []Diagnostic {
+		if !pathIs(f.Path, wallTimePkgs) {
+			return nil
+		}
+		names := importNames(f.AST, "time")
+		if len(names) == 0 {
+			return nil
+		}
+		var diags []Diagnostic
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !names[id.Name] || !f.pkgName(id) {
+				return true
+			}
+			if wallTimeFuncs[sel.Sel.Name] {
+				diags = append(diags, f.diag(sel.Pos(), "walltime",
+					fmt.Sprintf("time.%s reads the wall clock; simulated time must come from internal/simclock", sel.Sel.Name)))
+			}
+			return true
+		})
+		return diags
+	},
+}
