@@ -22,6 +22,9 @@
 package chopper
 
 import (
+	"fmt"
+	"os"
+
 	"chopper/internal/cluster"
 	"chopper/internal/config"
 	"chopper/internal/core"
@@ -29,6 +32,7 @@ import (
 	"chopper/internal/exec"
 	"chopper/internal/metrics"
 	"chopper/internal/plan"
+	"chopper/internal/plan/verify"
 	"chopper/internal/rdd"
 	"chopper/internal/trace"
 )
@@ -85,13 +89,16 @@ func SaveTopology(path string, t *Topology) error { return cluster.SaveTopology(
 type Option func(*sessionConfig)
 
 type sessionConfig struct {
-	topo        *cluster.Topology
-	params      cluster.CostParams
-	parallelism int
-	mode        string
-	coPartition bool
-	speculate   bool
-	cfg         dag.StageConfigurator
+	topo         *cluster.Topology
+	params       cluster.CostParams
+	parallelism  int
+	mode         string
+	coPartition  bool
+	speculate    bool
+	cfg          dag.StageConfigurator
+	verifyOff    bool
+	verifyLog    bool
+	onViolations func([]verify.Violation)
 }
 
 // WithTopology selects the simulated cluster (default: the paper cluster).
@@ -152,6 +159,21 @@ func NewSession(opts ...Option) *Session {
 	sch.Configurator = sc.cfg
 	rec := core.NewRecorder()
 	sch.OnJob = rec.OnJob
+	if !sc.verifyOff {
+		lim := verify.DefaultLimits(sc.topo)
+		switch {
+		case sc.onViolations != nil:
+			sch.Verify = verify.ObservingHook(lim, sc.onViolations)
+		case sc.verifyLog:
+			sch.Verify = verify.ObservingHook(lim, func(vs []verify.Violation) {
+				for _, v := range vs {
+					fmt.Fprintf(os.Stderr, "chopper: plan verifier: %s\n", v)
+				}
+			})
+		default:
+			sch.Verify = verify.Hook(lim)
+		}
+	}
 	return &Session{ctx: ctx, eng: eng, sch: sch, col: col, rec: rec}
 }
 
@@ -198,6 +220,33 @@ func WithSpeculation() Option { return func(c *sessionConfig) { c.speculate = tr
 // co-partition-aware scheduler; combine with WithTuning for that.
 func WithConfigurator(cfg dag.StageConfigurator) Option {
 	return func(c *sessionConfig) { c.cfg = cfg }
+}
+
+// PlanViolation is one plan-IR invariant breach reported by the built-in
+// verifier (internal/plan/verify).
+type PlanViolation = verify.Violation
+
+// Sessions verify every job's stage graph right after configuration is
+// applied (acyclicity, shuffle boundaries at wide deps, co-partitioned
+// joins, partition counts within the executors' memory budget, partitioner/
+// key-type compatibility) and abort the job on any breach — the strict mode
+// tests want. The options below relax that for production-style drivers.
+
+// WithLenientVerifier logs plan-verifier violations to stderr instead of
+// aborting the job.
+func WithLenientVerifier() Option {
+	return func(c *sessionConfig) { c.verifyLog = true }
+}
+
+// WithPlanObserver routes plan-verifier violations to fn instead of aborting
+// the job (chopperverify uses this to collect violations across workloads).
+func WithPlanObserver(fn func([]PlanViolation)) Option {
+	return func(c *sessionConfig) { c.onViolations = fn }
+}
+
+// WithoutVerifier disables plan verification entirely (benchmarking only).
+func WithoutVerifier() Option {
+	return func(c *sessionConfig) { c.verifyOff = true }
 }
 
 // KillNode fails a worker at the current simulated time: it stops receiving

@@ -3,14 +3,29 @@
 #
 # Tier-1 (ROADMAP.md) is `go build ./... && go test ./...`; this script is
 # the full gate: vet, the chopperlint determinism/correctness suite, the
-# race detector over every internal package, and a short native-fuzz run of
-# the execution engine against its single-threaded oracle.
+# test suite (with shuffled execution order, so inter-test state leaks
+# cannot hide), the race detector over every internal package, a short
+# native-fuzz run of the execution engine against its single-threaded
+# oracle, and chopperverify — the plan-IR and configuration verifiers run
+# end to end over every built-in workload.
 #
-# Every step must pass for a change to land. chopperlint exits non-zero on
-# any finding; see DESIGN.md ("Determinism invariants & linting") for the
-# rule catalogue and the //lint:ignore suppression syntax.
+# Every step must pass for a change to land. chopperlint and chopperverify
+# exit non-zero on any finding; see DESIGN.md ("Determinism invariants &
+# linting", "Plan-IR invariants") for the rule catalogues and the
+# //lint:ignore suppression syntax.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "== toolchain =="
+# The toolchain is pinned in go.mod; refuse to run under a silently
+# different one (results must be reproducible across CI machines).
+want="$(sed -n 's/^toolchain //p' go.mod)"
+have="$(go env GOVERSION)"
+if [[ -n "$want" && "$have" != "$want" ]]; then
+    echo "ci.sh: toolchain mismatch: go.mod pins $want, running $have" >&2
+    exit 1
+fi
+go version
 
 echo "== build =="
 go build ./...
@@ -21,13 +36,17 @@ go vet ./...
 echo "== chopperlint =="
 go run ./cmd/chopperlint ./...
 
-echo "== test =="
-go test ./...
+echo "== test (shuffled) =="
+go test -shuffle=on ./...
 
 echo "== race =="
 go test -race ./internal/...
 
 echo "== fuzz (5s) =="
 go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/exec
+go test -run='^$' -fuzz=FuzzPlanInvariants -fuzztime=5s ./internal/plan/verify
+
+echo "== chopperverify =="
+go run ./cmd/chopperverify -workload=all
 
 echo "CI OK"

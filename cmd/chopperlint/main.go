@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	chopperlint [-json] [packages]
+//	chopperlint [-json] [-rules=<comma-list>] [packages]
 //
 // Packages default to ./... relative to the enclosing module root. The
 // -json flag emits findings as a JSON array instead of compiler-style
-// text lines. Exit status: 0 clean, 1 findings, 2 operational error.
+// text lines; -rules restricts the run to a comma-separated subset of
+// rule names (default: all). Exit status: 0 clean, 1 findings, 2
+// load/parse or usage error (an unknown rule name is a usage error).
 package main
 
 import (
@@ -16,17 +18,40 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"chopper/internal/lint"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	rules := flag.String("rules", "", "comma-separated rule names to run (default: all)")
 	flag.Parse()
-	os.Exit(run(flag.Args(), *jsonOut))
+	os.Exit(run(flag.Args(), *jsonOut, *rules))
 }
 
-func run(patterns []string, jsonOut bool) int {
+// selectAnalyzers resolves the -rules flag value.
+func selectAnalyzers(rules string) ([]*lint.Analyzer, error) {
+	if rules == "" {
+		return lint.All(), nil
+	}
+	var names []string
+	for _, n := range strings.Split(rules, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-rules lists no rule names")
+	}
+	return lint.ByName(names)
+}
+
+func run(patterns []string, jsonOut bool, rules string) int {
+	analyzers, err := selectAnalyzers(rules)
+	if err != nil {
+		return fail(err)
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -56,7 +81,7 @@ func run(patterns []string, jsonOut bool) int {
 		if err != nil {
 			return fail(err)
 		}
-		diags = append(diags, lint.Run(pkg, lint.All())...)
+		diags = append(diags, lint.Run(pkg, analyzers)...)
 	}
 	// Report module-relative paths: stable across machines and CI.
 	for i := range diags {

@@ -1,0 +1,165 @@
+// Command chopperverify runs CHOPPER's correctness verifiers end to end
+// over the built-in workloads (the same pipelines the examples/ programs
+// build): for every workload it executes a vanilla run, forced uniform
+// hash/range configurations at the extremes of the search grid, and the
+// full CHOPPER pipeline (profile → optimize → tuned co-partitioned run),
+// with
+//
+//   - the plan-IR verifier (internal/plan/verify) observing every job's
+//     stage graph: acyclicity, shuffle boundaries at wide dependencies,
+//     co-partitioned join inputs, partition counts within the executors'
+//     memory budget, partitioner/key-type compatibility; and
+//   - the configuration verifier (core.VerifySchemes) checking every
+//     optimizer emission: known signatures, valid schemes, counts inside
+//     the searched grid, join groups agreeing on one scheme, fixed stages
+//     only retuned through inserted repartition phases.
+//
+// Usage:
+//
+//	chopperverify [-workload=all|kmeans|pca|sql|pagerank] [-shrink=N] [-v]
+//
+// Datasets are shrunk by -shrink (default 6) so the sweep stays fast;
+// logical sizes and the cost model are unchanged, so the plans exercised
+// are the real ones. Exit status: 0 clean, 1 violations, 2 run error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chopper/internal/core"
+	"chopper/internal/dag"
+	"chopper/internal/experiments"
+	"chopper/internal/plan/verify"
+	"chopper/internal/rdd"
+	"chopper/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "all", "workload to verify (all, kmeans, pca, sql, pagerank)")
+	shrink := flag.Int("shrink", 6, "dataset shrink factor for fast runs (1 = paper size)")
+	verbose := flag.Bool("v", false, "list every run, not just violations")
+	flag.Parse()
+	os.Exit(run(*workload, *shrink, *verbose))
+}
+
+func run(name string, shrink int, verbose bool) int {
+	var targets []workloads.Workload
+	if name == "all" {
+		targets = workloads.AllWithExtensions()
+	} else {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return fail(err)
+		}
+		targets = []workloads.Workload{w}
+	}
+
+	total := 0
+	for _, w := range targets {
+		shrinkWorkload(w, shrink)
+		n, err := verifyWorkload(w, verbose)
+		if err != nil {
+			return fail(fmt.Errorf("%s: %w", w.Name(), err))
+		}
+		total += n
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "chopperverify: %d violation(s)\n", total)
+		return 1
+	}
+	if verbose {
+		fmt.Println("chopperverify: all plans and configurations verified clean")
+	}
+	return 0
+}
+
+// verifyWorkload runs one workload under every configuration class with the
+// verifiers observing, and prints each violation. Returns the count.
+func verifyWorkload(w workloads.Workload, verbose bool) (int, error) {
+	count := 0
+	planObserver := func(label string) func([]verify.Violation) {
+		return func(vs []verify.Violation) {
+			for _, v := range vs {
+				count++
+				fmt.Printf("%s/%s: plan: %s\n", w.Name(), label, v)
+			}
+		}
+	}
+	schemeObserver := func(label string) func(string, []core.SchemeViolation) {
+		return func(_ string, vs []core.SchemeViolation) {
+			for _, v := range vs {
+				count++
+				fmt.Printf("%s/%s: config: %s\n", w.Name(), label, v)
+			}
+		}
+	}
+	step := func(label string) {
+		if verbose {
+			fmt.Printf("chopperverify: %s: %s\n", w.Name(), label)
+		}
+	}
+	bytes := w.DefaultInputBytes()
+
+	// Vanilla plus the extremes of the search grid: the widest partition
+	// counts stress the memory-bound check, the range scheme stresses the
+	// partitioner-compatibility checks.
+	forced := []struct {
+		label string
+		cfg   dag.StageConfigurator
+	}{
+		{"vanilla", nil},
+		{"force-hash-2000", &core.ForceAll{Spec: dag.SchemeSpec{Scheme: rdd.SchemeHash, NumPartitions: 2000}}},
+		{"force-range-100", &core.ForceAll{Spec: dag.SchemeSpec{Scheme: rdd.SchemeRange, NumPartitions: 100}}},
+	}
+	for _, f := range forced {
+		step(f.label)
+		opt := experiments.Options{Configurator: f.cfg, OnPlanViolations: planObserver(f.label)}
+		if _, _, err := experiments.RunWorkload(w, bytes, opt); err != nil {
+			return count, err
+		}
+	}
+
+	// The full pipeline: profiling sweep, optimization (configuration
+	// verifier), tuned co-partitioned run (plan verifier over the retuned
+	// stage graphs).
+	step("chopper-pipeline")
+	plan := experiments.ProfilePlan{
+		SizeFractions: []float64{0.5, 1.0},
+		Partitions:    []int{150, 300, 450, 600},
+		Schemes:       []rdd.SchemeName{rdd.SchemeHash, rdd.SchemeRange},
+	}
+	opt := experiments.Options{
+		OnPlanViolations:   planObserver("chopper-pipeline"),
+		OnSchemeViolations: schemeObserver("chopper-pipeline"),
+	}
+	if _, err := experiments.Compare(w, bytes, plan, opt); err != nil {
+		return count, err
+	}
+	return count, nil
+}
+
+// shrinkWorkload scales the physical dataset down by factor (logical input
+// size is unchanged), mirroring BuiltinApp.Shrink.
+func shrinkWorkload(w workloads.Workload, factor int) {
+	if factor <= 1 {
+		return
+	}
+	switch w := w.(type) {
+	case *workloads.KMeans:
+		w.Rows /= factor
+	case *workloads.PCA:
+		w.Rows /= factor
+	case *workloads.SQL:
+		w.Orders /= factor
+		w.Customers /= factor
+	case *workloads.PageRank:
+		w.Pages /= factor
+	}
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "chopperverify:", err)
+	return 2
+}

@@ -60,6 +60,12 @@ type Optimizer struct {
 	// objective, so a kilobyte-scale shuffle cannot outvote minute-scale
 	// compute when both are normalized (aggregate cluster bandwidth).
 	ShuffleBytesPerSec float64
+
+	// OnViolation handles configuration-verifier findings (VerifySchemes runs
+	// after every optimization pass). nil is strict: any violation becomes a
+	// hard error from the pass that produced it. Production drivers install a
+	// handler that logs and returns nil to keep going.
+	OnViolation func(workload string, vs []SchemeViolation) error
 }
 
 // NewOptimizer returns an optimizer with the paper's default settings.
@@ -273,6 +279,9 @@ func (o *Optimizer) GetWorkloadPar(workload string, workloadInput float64) ([]St
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: no stage of %q has enough samples", workload)
 	}
+	if err := o.checkSchemes(workload, out, false); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -481,6 +490,9 @@ func (o *Optimizer) GetGlobalPar(workload string, workloadInput float64) ([]Stag
 	// An empty result is legal: every trainable stage may be user-fixed and
 	// already near-optimal, in which case CHOPPER leaves the workload alone.
 	sort.Slice(out, func(i, j int) bool { return out[i].Signature < out[j].Signature })
+	if err := o.checkSchemes(workload, out, true); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

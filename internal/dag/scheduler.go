@@ -81,6 +81,13 @@ type Scheduler struct {
 	// OnJob observes the stage graph of every submitted job.
 	OnJob func(stages []StageInfo)
 
+	// Verify, when non-nil, inspects every job's stage graph right after it
+	// is built (configuration already applied, cached stages not yet pruned,
+	// IDs not yet assigned). Returning an error aborts the job before any
+	// stage runs. internal/plan/verify provides the standard implementations:
+	// a strict hook for tests and a logging hook for production sessions.
+	Verify func(result *Stage, topo []*Stage) error
+
 	// RangeSampleSplits bounds how many map partitions are sampled when
 	// materializing range-partitioner bounds. Zero or negative samples every
 	// split (Spark samples all partitions; a subset of a range-partitioned
@@ -118,6 +125,11 @@ func (s *Scheduler) RunJob(target *rdd.RDD, fn func(split int, rows []rdd.Row) (
 	rdd.PropagateCounts(target)
 
 	result, topo := buildStages(target, s.warmFn())
+	if s.Verify != nil {
+		if err := s.Verify(result, topo); err != nil {
+			return nil, err
+		}
+	}
 	topo = s.pruneCachedStages(result, topo)
 	for _, st := range topo {
 		st.ID = s.nextStageID

@@ -143,6 +143,18 @@ func walkNarrow(r *rdd.RDD, visit func(*rdd.RDD)) {
 	walk(r)
 }
 
+// BuildPlan constructs the stage graph for a job ending at target without
+// executing anything: the result stage plus all stages in parent-before-child
+// topological order, exactly as RunJob would build them (stage IDs are not
+// assigned). External verifiers (internal/plan/verify) use it to inspect the
+// plan the scheduler is about to run. warm has the same meaning as in
+// buildStages. The lineage of target must be acyclic; callers that cannot
+// guarantee that must check first (see verify.Plan), since a cyclic shuffle
+// graph would recurse forever.
+func BuildPlan(target *rdd.RDD, warm func(*rdd.RDD) bool) (*Stage, []*Stage) {
+	return buildStages(target, warm)
+}
+
 // buildStages constructs the stage graph for a job ending at target.
 // It returns the result stage and all stages in parent-before-child
 // topological order (result last). Stage IDs are not assigned here.

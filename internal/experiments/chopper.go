@@ -82,6 +82,12 @@ func Train(w workloads.Workload, targetBytes int64, plan ProfilePlan, opt Option
 	}
 	optimizer := core.NewOptimizer(db)
 	optimizer.DefaultParallelism = opt.withDefaults().DefaultParallelism
+	if opt.OnSchemeViolations != nil {
+		optimizer.OnViolation = func(workload string, vs []core.SchemeViolation) error {
+			opt.OnSchemeViolations(workload, vs)
+			return nil
+		}
+	}
 	cf, err := optimizer.GenerateConfig(w.Name(), float64(targetBytes))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generate config: %w", err)

@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"testing"
+
+	"chopper/internal/workloads"
 )
 
 func TestFailureStudy(t *testing.T) {
@@ -24,6 +27,42 @@ func TestFailureStudy(t *testing.T) {
 		if r.OverheadPct > 200 {
 			t.Fatalf("%s: recovery overhead implausible: %.1f%%", r.Mode, r.OverheadPct)
 		}
+	}
+}
+
+// TestPCAFailureRecomputation guards the deflate-snapshot in PCA's power
+// iteration (flagged by chopperlint's closurecapture rule): the transform
+// closure captures the components extracted so far, the input RDD is cached
+// and reused across iterations, and a node loss recomputes lost partitions
+// from lineage — re-running lazy closures long after they were defined. The
+// recomputed result must match the healthy run exactly.
+func TestPCAFailureRecomputation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := workloads.NewPCA()
+	p.Rows = 3000
+	p.Dim = 8
+	bytes := p.DefaultInputBytes()
+
+	run := func(fail bool) float64 {
+		rt := NewRuntime(p.Name(), Options{})
+		if fail {
+			rt.Eng.AfterStage = func(done int) {
+				if done == 4 {
+					_ = rt.Eng.KillNode("C")
+				}
+			}
+		}
+		res, err := p.Run(rt.Ctx, bytes)
+		if err != nil {
+			t.Fatalf("pca run (fail=%v): %v", fail, err)
+		}
+		return res.Checksum
+	}
+	healthy, failed := run(false), run(true)
+	if math.Abs(healthy-failed) > 1e-9*math.Abs(healthy) {
+		t.Fatalf("recomputation diverged from healthy run: %v vs %v", healthy, failed)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"chopper/internal/dag"
 	"chopper/internal/exec"
 	"chopper/internal/metrics"
+	"chopper/internal/plan/verify"
 	"chopper/internal/rdd"
 	"chopper/internal/workloads"
 )
@@ -31,6 +32,17 @@ type Options struct {
 	CoPartition        bool
 	Configurator       dag.StageConfigurator
 	Mode               string // label for metrics: "spark" or "chopper"
+
+	// OnPlanViolations, when set, observes plan-verifier findings instead of
+	// letting them abort the job (cmd/chopperverify collects them this way).
+	// The default — nil — runs the strict verifier: the whole evaluation
+	// harness doubles as a plan-invariant regression suite.
+	OnPlanViolations func([]verify.Violation)
+
+	// OnSchemeViolations, when set, observes the optimizer's configuration
+	// verifier (core.VerifySchemes) instead of letting findings fail
+	// GenerateConfig. Same default as OnPlanViolations: strict.
+	OnSchemeViolations func(workload string, vs []core.SchemeViolation)
 }
 
 // withDefaults fills unset options.
@@ -70,6 +82,12 @@ func NewRuntime(workload string, opt Options) *Runtime {
 	sch.Configurator = opt.Configurator
 	rec := core.NewRecorder()
 	sch.OnJob = rec.OnJob
+	lim := verify.DefaultLimits(opt.Topo)
+	if opt.OnPlanViolations != nil {
+		sch.Verify = verify.ObservingHook(lim, opt.OnPlanViolations)
+	} else {
+		sch.Verify = verify.Hook(lim)
+	}
 	return &Runtime{Ctx: ctx, Eng: eng, Sch: sch, Col: col, Rec: rec}
 }
 

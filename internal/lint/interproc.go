@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file holds the interprocedural machinery shared by closurecapture and
+// sharedescape: a per-package call graph over the package's own function
+// declarations, plus the transitive "writes package-level state" fact. Both
+// rules stay per-file for reporting and suppression purposes — the graph only
+// supplies package-wide facts.
+
+// globalWrite records one write to a package-level variable.
+type globalWrite struct {
+	v   *types.Var
+	pos token.Pos
+}
+
+// funcNode is one declared function or method of the package.
+type funcNode struct {
+	decl *ast.FuncDecl
+	// recv is the receiver variable, nil for plain functions.
+	recv *types.Var
+	// callees are the package-local functions this one calls directly.
+	callees []*types.Func
+	// writes lists the package-level variables this function writes,
+	// directly or through package-local callees (transitive closure).
+	writes []globalWrite
+}
+
+// callGraph indexes a package's declared functions for interprocedural walks.
+type callGraph struct {
+	info  *types.Info
+	nodes map[*types.Func]*funcNode
+}
+
+// buildCallGraph constructs the graph from every file of the package and
+// saturates the transitive global-write facts with a fixed-point pass.
+func buildCallGraph(pkg *Package) *callGraph {
+	g := &callGraph{info: pkg.Info, nodes: map[*types.Func]*funcNode{}}
+	if pkg.Info == nil {
+		return g
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &funcNode{decl: fd}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				node.recv = sig.Recv()
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.CallExpr:
+					if callee := g.calleeOf(s); callee != nil && callee.Pkg() == fn.Pkg() {
+						node.callees = append(node.callees, callee)
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						if v := g.pkgLevelTarget(lhs); v != nil {
+							node.writes = append(node.writes, globalWrite{v: v, pos: lhs.Pos()})
+						}
+					}
+				case *ast.IncDecStmt:
+					if v := g.pkgLevelTarget(s.X); v != nil {
+						node.writes = append(node.writes, globalWrite{v: v, pos: s.X.Pos()})
+					}
+				}
+				return true
+			})
+			g.nodes[fn] = node
+		}
+	}
+	// Saturate: a function that calls a global-writing function is itself a
+	// global writer. Iterate to a fixed point (the graph is small).
+	for changed := true; changed; {
+		changed = false
+		for _, node := range g.nodes {
+			have := map[*types.Var]bool{}
+			for _, w := range node.writes {
+				have[w.v] = true
+			}
+			for _, callee := range node.callees {
+				cn, ok := g.nodes[callee]
+				if !ok {
+					continue
+				}
+				for _, w := range cn.writes {
+					if !have[w.v] {
+						have[w.v] = true
+						node.writes = append(node.writes, w)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, node := range g.nodes {
+		sort.Slice(node.writes, func(i, j int) bool { return node.writes[i].pos < node.writes[j].pos })
+	}
+	return g
+}
+
+// calleeOf resolves a call expression to the invoked function object, or nil
+// for calls through function values, builtins, and conversions.
+func (g *callGraph) calleeOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := g.info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := g.info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// pkgLevelTarget returns the package-level variable an lvalue writes, or nil.
+func (g *callGraph) pkgLevelTarget(lhs ast.Expr) *types.Var {
+	id := rootIdent(lhs)
+	if id == nil {
+		return nil
+	}
+	v := g.varOf(id)
+	if v != nil && isPkgLevel(v) {
+		return v
+	}
+	return nil
+}
+
+// varOf resolves an identifier to its variable object (use or definition).
+func (g *callGraph) varOf(id *ast.Ident) *types.Var {
+	obj := g.info.Uses[id]
+	if obj == nil {
+		obj = g.info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// isPkgLevel reports whether v is declared at package scope.
+func isPkgLevel(v *types.Var) bool {
+	if v == nil || v.IsField() {
+		return false
+	}
+	scope := v.Parent()
+	return scope != nil && scope != types.Universe && scope.Parent() == types.Universe
+}
+
+// objOf resolves an identifier through either the uses or defs map.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if info == nil {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// within reports whether pos falls inside node's source span.
+func within(pos token.Pos, node ast.Node) bool {
+	return pos >= node.Pos() && pos < node.End()
+}
+
+// collectAssignPositions returns the positions where v is (re)assigned inside
+// root: plain and compound assignments, inc/dec statements, and `for ... =
+// range` clauses reusing an outer variable. Writes through selectors and
+// indexes count — mutating a captured slice's element or a struct's field is
+// as impure as replacing the whole value.
+func collectAssignPositions(info *types.Info, root ast.Node, v *types.Var) []token.Pos {
+	var out []token.Pos
+	match := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := objOf(info, id)
+		return obj == v
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if match(lhs) {
+					out = append(out, lhs.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if match(s.X) {
+				out = append(out, s.X.Pos())
+			}
+		case *ast.RangeStmt:
+			if s.Tok == token.ASSIGN {
+				if s.Key != nil && match(s.Key) {
+					out = append(out, s.Key.Pos())
+				}
+				if s.Value != nil && match(s.Value) {
+					out = append(out, s.Value.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -7,11 +7,19 @@
 // those invariants is enforced here as a machine-checked rule over the
 // non-test source tree:
 //
-//	walltime   — no time.Now/Since/Sleep/... in the simulation packages
-//	globalrand — no package-level math/rand calls anywhere in library code
-//	maporder   — no order-sensitive statements inside `range` over a map in
-//	             decision-making packages (dag, core, exec)
-//	droppederr — no call whose error result is silently discarded
+//	walltime       — no time.Now/Since/Sleep/... in the simulation packages
+//	globalrand     — no package-level math/rand calls anywhere in library code
+//	maporder       — no order-sensitive statements inside `range` over a map
+//	                 in decision-making packages (dag, core, exec)
+//	droppederr     — no call whose error result is silently discarded
+//	closurecapture — closures passed to RDD transforms must be pure: no
+//	                 writes to captured or package-level state (directly or
+//	                 through in-package callees), no captured variables that
+//	                 change after the transform call (lazy re-execution would
+//	                 observe the new value)
+//	sharedescape   — state reachable from compute-pool goroutine bodies in
+//	                 internal/exec must not be written without holding a lock
+//	                 (call-graph walk seeded from the `go` statements)
 //
 // Findings can be suppressed with a trailing or preceding comment of the
 // form `//lint:ignore <rule> <reason>`; the reason is mandatory.
@@ -29,6 +37,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, addressable as file:line:col.
@@ -55,6 +64,11 @@ type File struct {
 	// (walltime, maporder) use it to decide applicability.
 	Path string
 	Info *types.Info
+	// Pkg is the enclosing package, giving interprocedural analyzers
+	// (closurecapture, sharedescape) access to the other files and the
+	// package call graph. May be nil for single-file invocations; analyzers
+	// degrade to intraprocedural checks then.
+	Pkg *Package
 }
 
 // diag builds a Diagnostic at the given position.
@@ -97,7 +111,24 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{WallTime, GlobalRand, MapOrder, DroppedErr}
+	return []*Analyzer{WallTime, GlobalRand, MapOrder, DroppedErr, ClosureCapture, SharedEscape}
+}
+
+// ByName resolves analyzer names (the -rules flag) to analyzers.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 // Package is a loaded, type-checked package ready for analysis.
@@ -106,6 +137,16 @@ type Package struct {
 	Path  string
 	Files []*ast.File
 	Info  *types.Info
+
+	graphOnce sync.Once
+	cg        *callGraph
+}
+
+// graph lazily builds the package's intra-module call graph (see
+// interproc.go); all files of the package share one graph.
+func (p *Package) graph() *callGraph {
+	p.graphOnce.Do(func() { p.cg = buildCallGraph(p) })
+	return p.cg
 }
 
 // Run applies the analyzers to every file of pkg, filters suppressed
@@ -113,7 +154,7 @@ type Package struct {
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
 	for _, astFile := range pkg.Files {
-		f := &File{Fset: pkg.Fset, AST: astFile, Path: pkg.Path, Info: pkg.Info}
+		f := &File{Fset: pkg.Fset, AST: astFile, Path: pkg.Path, Info: pkg.Info, Pkg: pkg}
 		sup := suppressions(f)
 		for _, a := range analyzers {
 			for _, d := range a.Run(f) {

@@ -25,6 +25,8 @@ var goldenCases = []struct {
 	{lint.GlobalRand, "globalrand", "chopper/internal/workloads"},
 	{lint.MapOrder, "maporder", "chopper/internal/core"},
 	{lint.DroppedErr, "droppederr", "chopper/internal/exec"},
+	{lint.ClosureCapture, "closurecapture", "chopper/internal/workloads"},
+	{lint.SharedEscape, "sharedescape", "chopper/internal/exec"},
 }
 
 func moduleRoot(t *testing.T) string {

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// sharedEscapePkgs are the packages whose goroutine pools execute task bodies
+// concurrently; shared state written there without a lock corrupts results
+// silently (the engine's determinism tests only catch it when the race
+// happens to change a timing).
+var sharedEscapePkgs = []string{
+	"chopper/internal/exec",
+}
+
+// SharedEscape flags writes to escaped shared state reachable from compute-
+// pool goroutine bodies: a call-graph walk seeded at every `go` statement
+// visits the launched closure and its package-local callees, and reports
+// writes to captured variables, package-level variables, and receiver fields
+// that are not preceded by a mutex Lock in the same function. Writes to
+// parameters and locals are fine — each task owns its own.
+var SharedEscape = &Analyzer{
+	Name: "sharedescape",
+	Doc:  "forbid unsynchronized writes to state reachable from compute-pool goroutines",
+	Run:  runSharedEscape,
+}
+
+func runSharedEscape(f *File) []Diagnostic {
+	if !pathIs(f.Path, sharedEscapePkgs) || f.Info == nil || f.Pkg == nil {
+		return nil
+	}
+	g := f.Pkg.graph()
+	thisFile := f.Fset.Position(f.AST.Pos()).Filename
+	var diags []Diagnostic
+	seen := map[string]bool{}
+
+	emit := func(goPos, writePos token.Pos, what string) {
+		pos := writePos
+		msg := what + " without holding a lock; the compute pool runs task bodies concurrently"
+		if f.Fset.Position(writePos).Filename != thisFile {
+			// The write lives in another file of the package; anchor the
+			// finding at the go statement so this file's suppressions apply.
+			pos = goPos
+			msg = fmt.Sprintf("goroutine %s (%s:%d) without holding a lock; the compute pool runs task bodies concurrently",
+				what, f.Fset.Position(writePos).Filename, f.Fset.Position(writePos).Line)
+		}
+		key := fmt.Sprintf("%d|%s", pos, msg)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		diags = append(diags, f.diag(pos, "sharedescape", msg))
+	}
+
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		visited := map[*types.Func]bool{}
+		var visitFn func(fn *types.Func)
+
+		// checkBody scans one function body executing on the pool goroutine.
+		// litScope, when non-nil, is the launched closure: writes to variables
+		// declared outside it are writes to escaped state. recv, when
+		// non-nil, is the body's receiver: its fields are shared across all
+		// tasks touching the same object.
+		checkBody := func(body ast.Node, litScope *ast.FuncLit, recv *types.Var) {
+			locks := lockPositions(body)
+			guarded := func(pos token.Pos) bool {
+				for _, l := range locks {
+					if l < pos {
+						return true
+					}
+				}
+				return false
+			}
+			check := func(e ast.Expr) {
+				id := rootIdent(e)
+				if id == nil {
+					return
+				}
+				v, _ := objOf(f.Info, id).(*types.Var)
+				if v == nil {
+					return
+				}
+				switch {
+				case isPkgLevel(v):
+					if !guarded(e.Pos()) {
+						emit(gs.Pos(), e.Pos(), fmt.Sprintf("writes package-level variable %s", v.Name()))
+					}
+				case recv != nil && v == recv && e != ast.Expr(id):
+					// A field write through the receiver (e is a selector or
+					// index rooted at recv; a write to the receiver variable
+					// itself is local).
+					if !guarded(e.Pos()) {
+						emit(gs.Pos(), e.Pos(), fmt.Sprintf("writes a field of receiver %s", v.Name()))
+					}
+				case litScope != nil && !v.IsField() && !within(v.Pos(), litScope):
+					if !guarded(e.Pos()) {
+						emit(gs.Pos(), e.Pos(), fmt.Sprintf("writes captured variable %s", v.Name()))
+					}
+				}
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						check(lhs)
+					}
+				case *ast.IncDecStmt:
+					check(s.X)
+				case *ast.CallExpr:
+					if callee := g.calleeOf(s); callee != nil {
+						visitFn(callee)
+					}
+				}
+				return true
+			})
+		}
+
+		visitFn = func(fn *types.Func) {
+			if visited[fn] {
+				return
+			}
+			visited[fn] = true
+			node, ok := g.nodes[fn]
+			if !ok {
+				return
+			}
+			checkBody(node.decl.Body, nil, node.recv)
+		}
+
+		if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+			checkBody(lit.Body, lit, nil)
+		} else if callee := g.calleeOf(gs.Call); callee != nil {
+			visitFn(callee)
+		}
+		return true
+	})
+	return diags
+}
+
+// lockPositions collects the positions of `<expr>.Lock()` calls in body —
+// the (lexical, heuristic) evidence that later writes in the same body are
+// mutex-guarded.
+func lockPositions(body ast.Node) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Lock" {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}

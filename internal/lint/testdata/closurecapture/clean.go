@@ -1,0 +1,50 @@
+package ccfix
+
+import (
+	"strings"
+
+	"chopper/internal/rdd"
+)
+
+// Shift captures a value that never changes after the transform is built:
+// capturing immutable state is fine.
+func Shift(r *rdd.RDD, delta float64) *rdd.RDD {
+	return r.Map(func(row rdd.Row) rdd.Row {
+		return row.(float64) + delta
+	})
+}
+
+// Scale copies the loop-varying value into a loop-local before capturing.
+func Scale(r *rdd.RDD, factors []float64) []*rdd.RDD {
+	var out []*rdd.RDD
+	for _, f := range factors {
+		f := f
+		out = append(out, r.Map(func(row rdd.Row) rdd.Row {
+			return row.(float64) * f
+		}))
+	}
+	return out
+}
+
+// PartSum accumulates into closure-local state only.
+func PartSum(r *rdd.RDD) *rdd.RDD {
+	return r.MapPartitions("sum", 1.0, func(_ int, rows []rdd.Row) []rdd.Row {
+		acc := 0.0
+		for _, row := range rows {
+			acc += row.(float64)
+		}
+		return []rdd.Row{acc}
+	})
+}
+
+// Upper calls strings.Map, which is not an RDD transform; the rule must not
+// fire on same-named methods of other receivers.
+func Upper(s string) string {
+	drop := 0
+	return strings.Map(func(c rune) rune {
+		if c == ' ' {
+			drop++
+		}
+		return c
+	}, s)
+}

@@ -1,0 +1,23 @@
+package ccfix
+
+import "chopper/internal/rdd"
+
+// Metrics tolerates a best-effort row counter used only for operator logs.
+func Metrics(r *rdd.RDD) *rdd.RDD {
+	rows := 0
+	return r.Map(func(row rdd.Row) rdd.Row {
+		//lint:ignore closurecapture operator-facing row counter, never read by the job
+		rows++
+		return row
+	})
+}
+
+// Bare has a directive without a reason, which does NOT suppress.
+func Bare(r *rdd.RDD) *rdd.RDD {
+	count := 0
+	return r.Filter(func(row rdd.Row) bool {
+		//lint:ignore closurecapture
+		count++
+		return true
+	})
+}

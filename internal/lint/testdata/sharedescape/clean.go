@@ -1,0 +1,53 @@
+package sefix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add locks before touching shared state.
+func (c *counter) Add(workers int) {
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.mu.Lock()
+			c.n++
+			c.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+// Collect moves results over a channel instead of shared memory.
+func Collect(inputs []int) []int {
+	out := make(chan int, len(inputs))
+	for _, in := range inputs {
+		go func(x int) {
+			out <- x * x
+		}(in)
+	}
+	res := make([]int, 0, len(inputs))
+	for range inputs {
+		res = append(res, <-out)
+	}
+	return res
+}
+
+// Scale writes only goroutine-local state: parameters and locals are owned
+// by the task.
+func Scale(xs []float64) {
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(x *float64) {
+			defer wg.Done()
+			v := *x * 2
+			*x = v
+		}(&xs[i])
+	}
+	wg.Wait()
+}

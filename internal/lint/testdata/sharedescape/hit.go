@@ -1,0 +1,46 @@
+package sefix
+
+import (
+	"fmt"
+	"sync"
+)
+
+// opsDone counts completed operations across the pool.
+var opsDone int
+
+type pool struct {
+	mu  sync.Mutex
+	sum float64
+	log []string
+}
+
+// Run fans tasks out to goroutines that share unsynchronized state.
+func (p *pool) Run(inputs []float64) {
+	var wg sync.WaitGroup
+	total := 0.0
+	for _, in := range inputs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			total += x
+			opsDone++
+			p.record(x)
+		}(in)
+	}
+	wg.Wait()
+}
+
+// record appends to the shared log without taking p.mu; it is only ever
+// reached from the pool goroutines above.
+func (p *pool) record(x float64) {
+	p.log = append(p.log, fmt.Sprint(x))
+}
+
+// Drain launches a named worker that bumps the global counter.
+func Drain() {
+	go drainOnce()
+}
+
+func drainOnce() {
+	opsDone++
+}

@@ -1,0 +1,28 @@
+package sefix
+
+import "sync"
+
+// hits is a best-effort metric; races only lose counts.
+var hits int
+
+// Probe launches a telemetry goroutine.
+func Probe(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		//lint:ignore sharedescape best-effort telemetry counter, losing increments is acceptable
+		hits++
+	}()
+}
+
+// Bare has a directive without a reason, which does NOT suppress.
+func Bare(wg *sync.WaitGroup) {
+	done := false
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		//lint:ignore sharedescape
+		done = true
+	}()
+	_ = done
+}

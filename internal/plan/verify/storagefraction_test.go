@@ -1,0 +1,17 @@
+package verify
+
+import (
+	"testing"
+
+	"chopper/internal/exec"
+)
+
+// The verifier must not import the execution engine (it runs inside the
+// scheduler, below exec in the dependency order), so it mirrors the storage
+// fraction as a local constant. This test is the sync guarantee.
+func TestStorageFractionMirrorsEngine(t *testing.T) {
+	if storageFraction != exec.StorageFraction {
+		t.Fatalf("verify.storageFraction = %v, exec.StorageFraction = %v; update the mirror",
+			storageFraction, exec.StorageFraction)
+	}
+}

@@ -83,6 +83,21 @@ func NewRangePartitionerFromSample(n int, sample []any) *RangePartitioner {
 	return &RangePartitioner{n: n, id: NextPartitionerID(), bounds: bounds}
 }
 
+// NewRangePartitionerWithBounds builds a range partitioner from explicit
+// split points, trusting the caller that bounds are sorted, mutually
+// comparable and len(bounds) <= n-1. NewRangePartitionerFromSample enforces
+// those properties; this constructor exists for callers that already hold
+// valid bounds (and for the plan verifier's tests, which deliberately build
+// invalid ones).
+func NewRangePartitionerWithBounds(n int, bounds []any) *RangePartitioner {
+	if n <= 0 {
+		panic(fmt.Sprintf("rdd: range partitioner needs n > 0, got %d", n))
+	}
+	b := make([]any, len(bounds))
+	copy(b, bounds)
+	return &RangePartitioner{n: n, id: NextPartitionerID(), bounds: b}
+}
+
 func (p *RangePartitioner) NumPartitions() int { return p.n }
 func (p *RangePartitioner) Name() string       { return "range" }
 func (p *RangePartitioner) Identity() int64    { return p.id }

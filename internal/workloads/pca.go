@@ -173,6 +173,12 @@ func (p *PCA) Run(ctx *rdd.Context, inputBytes int64) (Result, error) {
 		}
 		for it := 0; it < p.PowerIters; it++ {
 			cur := v
+			// Snapshot the components extracted so far: comps keeps growing
+			// after this transform is defined, and the closure is lazy — a
+			// task retry or lineage re-execution after later appends would
+			// deflate against components that did not exist when this
+			// iteration originally ran.
+			deflate := comps
 			iter := vectors.MapPartitions("powerStep", 2.0, func(_ int, rows []rdd.Row) []rdd.Row {
 				acc := make([]float64, p.Dim)
 				for _, r := range rows {
@@ -186,9 +192,8 @@ func (p *PCA) Run(ctx *rdd.Context, inputBytes int64) (Result, error) {
 					}
 				}
 				// Deflate previously extracted components.
-				for ci, comp := range comps {
+				for _, comp := range deflate {
 					proj := linalg.Dot(acc, comp)
-					_ = ci
 					for j := range acc {
 						acc[j] -= proj * comp[j]
 					}
