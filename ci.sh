@@ -4,15 +4,18 @@
 # Tier-1 (ROADMAP.md) is `go build ./... && go test ./...`; this script is
 # the full gate: vet, the chopperlint determinism/correctness suite, the
 # test suite (with shuffled execution order, so inter-test state leaks
-# cannot hide), the race detector over every internal package, a short
-# native-fuzz run of the execution engine against its single-threaded
-# oracle, and chopperverify — the plan-IR and configuration verifiers run
-# end to end over every built-in workload.
+# cannot hide), the race detector over every internal package, short
+# native-fuzz runs of the execution engine against its single-threaded
+# oracle, the plan-IR invariant checker, and the symbolic plan extractor,
+# chopperplan — the static plan-drift gate diffing statically extracted
+# stage graphs against the ones the scheduler submits — and chopperverify,
+# the plan-IR and configuration verifiers run end to end over every
+# built-in workload.
 #
-# Every step must pass for a change to land. chopperlint and chopperverify
-# exit non-zero on any finding; see DESIGN.md ("Determinism invariants &
-# linting", "Plan-IR invariants") for the rule catalogues and the
-# //lint:ignore suppression syntax.
+# Every step must pass for a change to land. chopperlint, chopperplan and
+# chopperverify exit non-zero on any finding; see DESIGN.md ("Determinism
+# invariants & linting", "Plan-IR invariants", "Static plan extraction")
+# for the rule catalogues and the //lint:ignore suppression syntax.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -36,6 +39,17 @@ go vet ./...
 echo "== chopperlint =="
 go run ./cmd/chopperlint ./...
 
+echo "== chopperlint (self-analysis) =="
+# The linter and the symbolic extractor must hold themselves to their own
+# rules; an explicit step so narrowing the sweep above can never silently
+# exempt them. Fixture files under testdata/ are skipped by the loader.
+go run ./cmd/chopperlint ./internal/lint/... ./internal/plan/...
+
+echo "== chopperlint (json artifact) =="
+# Machine-readable diagnostics for CI dashboards; byte-stable ordering, so
+# the artifact is diffable across runs.
+go run ./cmd/chopperlint -json ./... > chopperlint.json
+
 echo "== test (shuffled) =="
 go test -shuffle=on ./...
 
@@ -45,6 +59,13 @@ go test -race ./internal/...
 echo "== fuzz (5s) =="
 go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/exec
 go test -run='^$' -fuzz=FuzzPlanInvariants -fuzztime=5s ./internal/plan/verify
+go test -run='^$' -fuzz=FuzzSymbolicExtract -fuzztime=5s ./internal/plan/extract
+
+echo "== chopperplan =="
+# Static plan-drift gate: symbolically extract every workload's stage
+# graphs from source, verify the plan-IR invariants on them, and diff them
+# against the plans the scheduler actually submits.
+go run ./cmd/chopperplan -workload=all
 
 echo "== chopperverify =="
 go run ./cmd/chopperverify -workload=all

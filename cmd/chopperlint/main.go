@@ -63,11 +63,14 @@ func run(patterns []string, jsonOut bool, rules string) int {
 	if err != nil {
 		return fail(err)
 	}
-	ld, err := lint.NewLoader(root)
+	// One shared Program: every package is parsed and type-checked exactly
+	// once, and whole-program facts (the lock-order graph) are computed
+	// once and shared across every rule and file that consults them.
+	prog, err := lint.NewProgram(root)
 	if err != nil {
 		return fail(err)
 	}
-	dirs, err := ld.Match(patterns)
+	dirs, err := prog.Loader.Match(patterns)
 	if err != nil {
 		return fail(err)
 	}
@@ -77,18 +80,20 @@ func run(patterns []string, jsonOut bool, rules string) int {
 
 	var diags []lint.Diagnostic
 	for _, dir := range dirs {
-		pkg, err := ld.Load(dir)
+		pkg, err := prog.Package(dir)
 		if err != nil {
 			return fail(err)
 		}
 		diags = append(diags, lint.Run(pkg, analyzers)...)
 	}
-	// Report module-relative paths: stable across machines and CI.
+	// Report module-relative paths: stable across machines and CI. Re-sort
+	// afterwards — relativization changes the byte order of paths.
 	for i := range diags {
 		if rel, err := filepath.Rel(root, diags[i].File); err == nil {
 			diags[i].File = rel
 		}
 	}
+	diags = lint.SortDiagnostics(diags)
 
 	if jsonOut {
 		if err := lint.WriteJSON(os.Stdout, diags); err != nil {

@@ -1,0 +1,121 @@
+// Command chopperplan is the static plan-drift gate: it reconstructs every
+// built-in workload's stage graphs WITHOUT running the workload — a
+// symbolic evaluator (internal/plan/extract) interprets the Run method's
+// source, replays its transformations against the real rdd API on a
+// runner-less context, and intercepts the actions — then
+//
+//  1. checks the extracted plans against the plan-IR invariants
+//     (internal/plan/verify): acyclicity, shuffle boundaries at wide
+//     dependencies, co-partitioned joins, partition-count budgets; and
+//  2. runs the workload for real (vanilla configuration, shrunk dataset)
+//     and diffs the statically extracted stage graphs against the plans
+//     the scheduler actually submits, job for job.
+//
+// Any divergence ("plan drift") fails the gate: either the workload's
+// control flow has outgrown the evaluator's model, or a change to the
+// rdd/dag layers silently altered the stage structure the paper's figures
+// and the optimizer's configurations are keyed to.
+//
+// Usage:
+//
+//	chopperplan [-workload=all|kmeans|pca|sql|pagerank] [-shrink=N] [-v]
+//
+// Exit status: 0 clean, 1 drift or invariant violations, 2 error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chopper/internal/cluster"
+	"chopper/internal/experiments"
+	"chopper/internal/plan/extract"
+	"chopper/internal/plan/verify"
+	"chopper/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "all", "workload to gate (all, kmeans, pca, sql, pagerank)")
+	shrink := flag.Int("shrink", 6, "dataset shrink factor for the runtime half of the diff")
+	verbose := flag.Bool("v", false, "print every extracted plan, not just findings")
+	flag.Parse()
+	os.Exit(run(*workload, *shrink, *verbose))
+}
+
+func run(name string, shrink int, verbose bool) int {
+	var targets []workloads.Workload
+	if name == "all" {
+		targets = workloads.AllWithExtensions()
+	} else {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return fail(err)
+		}
+		targets = []workloads.Workload{w}
+	}
+
+	ex, err := extract.New(".")
+	if err != nil {
+		return fail(err)
+	}
+
+	total := 0
+	for _, w := range targets {
+		workloads.Shrink(w, shrink)
+		n, err := gate(ex, w, verbose)
+		if err != nil {
+			return fail(fmt.Errorf("%s: %w", w.Name(), err))
+		}
+		total += n
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "chopperplan: %d finding(s)\n", total)
+		return 1
+	}
+	if verbose {
+		fmt.Println("chopperplan: all static plans verified and drift-free")
+	}
+	return 0
+}
+
+// gate extracts, verifies, runs and diffs one workload; returns the number
+// of findings printed.
+func gate(ex *extract.Extractor, w workloads.Workload, verbose bool) (int, error) {
+	bytes := w.DefaultInputBytes()
+	rep, err := ex.Extract(w, bytes, experiments.DefaultParallelism)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	if verbose {
+		fmt.Printf("chopperplan: %s: %d static jobs\n", w.Name(), len(rep.Jobs))
+		for i, j := range rep.Jobs {
+			fmt.Printf("  job %d (%s):\n", i, j.Action)
+			for _, sh := range extract.Shape(j.Plan, j.Topo) {
+				fmt.Printf("    %s\n", sh)
+			}
+		}
+	}
+
+	lim := verify.DefaultLimits(cluster.PaperCluster())
+	for _, v := range rep.Verify(lim) {
+		count++
+		fmt.Printf("%s: static plan: %s\n", w.Name(), v)
+	}
+
+	var cap extract.Capture
+	if _, _, err := experiments.RunWorkload(w, bytes, experiments.Options{OnPlan: cap.Hook()}); err != nil {
+		return count, err
+	}
+	for _, d := range extract.Drift(rep, cap.Jobs()) {
+		count++
+		fmt.Printf("%s: drift: %s\n", w.Name(), d)
+	}
+	return count, nil
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "chopperplan:", err)
+	return 2
+}

@@ -28,9 +28,11 @@ import (
 	"fmt"
 	"os"
 
+	"chopper/internal/cluster"
 	"chopper/internal/core"
 	"chopper/internal/dag"
 	"chopper/internal/experiments"
+	"chopper/internal/plan/extract"
 	"chopper/internal/plan/verify"
 	"chopper/internal/rdd"
 	"chopper/internal/workloads"
@@ -40,11 +42,12 @@ func main() {
 	workload := flag.String("workload", "all", "workload to verify (all, kmeans, pca, sql, pagerank)")
 	shrink := flag.Int("shrink", 6, "dataset shrink factor for fast runs (1 = paper size)")
 	verbose := flag.Bool("v", false, "list every run, not just violations")
+	static := flag.Bool("static", false, "additionally extract each workload's plans statically (internal/plan/extract), verify them, and diff them against the vanilla run's submitted plans")
 	flag.Parse()
-	os.Exit(run(*workload, *shrink, *verbose))
+	os.Exit(run(*workload, *shrink, *verbose, *static))
 }
 
-func run(name string, shrink int, verbose bool) int {
+func run(name string, shrink int, verbose, static bool) int {
 	var targets []workloads.Workload
 	if name == "all" {
 		targets = workloads.AllWithExtensions()
@@ -56,10 +59,18 @@ func run(name string, shrink int, verbose bool) int {
 		targets = []workloads.Workload{w}
 	}
 
+	var ex *extract.Extractor
+	if static {
+		var err error
+		if ex, err = extract.New("."); err != nil {
+			return fail(err)
+		}
+	}
+
 	total := 0
 	for _, w := range targets {
-		shrinkWorkload(w, shrink)
-		n, err := verifyWorkload(w, verbose)
+		workloads.Shrink(w, shrink)
+		n, err := verifyWorkload(w, ex, verbose)
 		if err != nil {
 			return fail(fmt.Errorf("%s: %w", w.Name(), err))
 		}
@@ -76,8 +87,11 @@ func run(name string, shrink int, verbose bool) int {
 }
 
 // verifyWorkload runs one workload under every configuration class with the
-// verifiers observing, and prints each violation. Returns the count.
-func verifyWorkload(w workloads.Workload, verbose bool) (int, error) {
+// verifiers observing, and prints each violation. When ex is non-nil it
+// additionally extracts the workload's plans statically, verifies them, and
+// diffs them against the vanilla run's submitted plans (the chopperplan
+// drift gate, inline). Returns the count.
+func verifyWorkload(w workloads.Workload, ex *extract.Extractor, verbose bool) (int, error) {
 	count := 0
 	planObserver := func(label string) func([]verify.Violation) {
 		return func(vs []verify.Violation) {
@@ -102,6 +116,22 @@ func verifyWorkload(w workloads.Workload, verbose bool) (int, error) {
 	}
 	bytes := w.DefaultInputBytes()
 
+	// Static extraction (-static): reconstruct the plans without running,
+	// verify them, and capture the vanilla run below for the drift diff.
+	var rep *extract.Report
+	var cap extract.Capture
+	if ex != nil {
+		step("static-extract")
+		var err error
+		if rep, err = ex.Extract(w, bytes, experiments.DefaultParallelism); err != nil {
+			return count, err
+		}
+		for _, v := range rep.Verify(verify.DefaultLimits(cluster.PaperCluster())) {
+			count++
+			fmt.Printf("%s/static: plan: %s\n", w.Name(), v)
+		}
+	}
+
 	// Vanilla plus the extremes of the search grid: the widest partition
 	// counts stress the memory-bound check, the range scheme stresses the
 	// partitioner-compatibility checks.
@@ -116,8 +146,17 @@ func verifyWorkload(w workloads.Workload, verbose bool) (int, error) {
 	for _, f := range forced {
 		step(f.label)
 		opt := experiments.Options{Configurator: f.cfg, OnPlanViolations: planObserver(f.label)}
+		if rep != nil && f.cfg == nil {
+			opt.OnPlan = cap.Hook()
+		}
 		if _, _, err := experiments.RunWorkload(w, bytes, opt); err != nil {
 			return count, err
+		}
+	}
+	if rep != nil {
+		for _, d := range extract.Drift(rep, cap.Jobs()) {
+			count++
+			fmt.Printf("%s/static: drift: %s\n", w.Name(), d)
 		}
 	}
 
@@ -138,25 +177,6 @@ func verifyWorkload(w workloads.Workload, verbose bool) (int, error) {
 		return count, err
 	}
 	return count, nil
-}
-
-// shrinkWorkload scales the physical dataset down by factor (logical input
-// size is unchanged), mirroring BuiltinApp.Shrink.
-func shrinkWorkload(w workloads.Workload, factor int) {
-	if factor <= 1 {
-		return
-	}
-	switch w := w.(type) {
-	case *workloads.KMeans:
-		w.Rows /= factor
-	case *workloads.PCA:
-		w.Rows /= factor
-	case *workloads.SQL:
-		w.Orders /= factor
-		w.Customers /= factor
-	case *workloads.PageRank:
-		w.Pages /= factor
-	}
 }
 
 func fail(err error) int {

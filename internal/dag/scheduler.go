@@ -81,6 +81,13 @@ type Scheduler struct {
 	// OnJob observes the stage graph of every submitted job.
 	OnJob func(stages []StageInfo)
 
+	// OnPlan observes every job's raw stage plan at the same point Verify
+	// sees it: configuration applied, cached stages not yet pruned, IDs not
+	// yet assigned. That makes the observed structure directly comparable
+	// to a cold dag.BuildPlan over the same lineage (only signatures differ
+	// with cache warmth). cmd/chopperplan's drift gate hangs off this.
+	OnPlan func(result *Stage, topo []*Stage)
+
 	// Verify, when non-nil, inspects every job's stage graph right after it
 	// is built (configuration already applied, cached stages not yet pruned,
 	// IDs not yet assigned). Returning an error aborts the job before any
@@ -125,6 +132,9 @@ func (s *Scheduler) RunJob(target *rdd.RDD, fn func(split int, rows []rdd.Row) (
 	rdd.PropagateCounts(target)
 
 	result, topo := buildStages(target, s.warmFn())
+	if s.OnPlan != nil {
+		s.OnPlan(result, topo)
+	}
 	if s.Verify != nil {
 		if err := s.Verify(result, topo); err != nil {
 			return nil, err

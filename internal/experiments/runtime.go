@@ -33,6 +33,11 @@ type Options struct {
 	Configurator       dag.StageConfigurator
 	Mode               string // label for metrics: "spark" or "chopper"
 
+	// OnPlan, when set, observes every job's stage plan before verification
+	// and cache pruning (dag.Scheduler.OnPlan). The static plan-drift gate
+	// (cmd/chopperplan) captures runtime plans through this.
+	OnPlan func(result *dag.Stage, topo []*dag.Stage)
+
 	// OnPlanViolations, when set, observes plan-verifier findings instead of
 	// letting them abort the job (cmd/chopperverify collects them this way).
 	// The default — nil — runs the strict verifier: the whole evaluation
@@ -82,6 +87,7 @@ func NewRuntime(workload string, opt Options) *Runtime {
 	sch.Configurator = opt.Configurator
 	rec := core.NewRecorder()
 	sch.OnJob = rec.OnJob
+	sch.OnPlan = opt.OnPlan
 	lim := verify.DefaultLimits(opt.Topo)
 	if opt.OnPlanViolations != nil {
 		sch.Verify = verify.ObservingHook(lim, opt.OnPlanViolations)

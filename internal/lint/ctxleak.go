@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"chopper/internal/lint/ssa"
+)
+
+// ctxLeakPackages are the packages whose goroutines must be barriered: the
+// execution engine's compute pool. A task goroutine that outlives its
+// stage barrier keeps mutating wave state after the scheduler has moved
+// on, which breaks the simulator's determinism guarantee far from the
+// spawn site.
+var ctxLeakPackages = []string{
+	"chopper/internal/exec",
+}
+
+// CtxLeak verifies, flow-sensitively, that every goroutine spawned in the
+// compute pool is tied to a stage barrier: the spawned closure must signal
+// a sync.WaitGroup (a `defer wg.Done()`), and every CFG path from the
+// spawn to the enclosing function's exit must pass a `wg.Wait()` on the
+// same WaitGroup — otherwise some path lets the function return while the
+// goroutine still runs.
+var CtxLeak = &Analyzer{
+	Name: "ctxleak",
+	Doc:  "forbid compute-pool goroutines that can outlive their stage barrier",
+	Run: func(f *File) []Diagnostic {
+		if f.Info == nil || !pathIs(f.Path, ctxLeakPackages) {
+			return nil
+		}
+		var diags []Diagnostic
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := ssa.BuildFunc(f.Fset, f.Info, fd)
+			diags = append(diags, ctxleakFunc(f, fn)...)
+		}
+		return diags
+	},
+}
+
+func ctxleakFunc(f *File, fn *ssa.Func) []Diagnostic {
+	var diags []Diagnostic
+	for _, b := range fn.Blocks {
+		for i, node := range b.Nodes {
+			var spawns []*ast.GoStmt
+			ssa.InspectShallow(node, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					spawns = append(spawns, g)
+				}
+				return true
+			})
+			for _, g := range spawns {
+				if d := checkSpawn(f, fn, b, i, g); d != nil {
+					diags = append(diags, *d)
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// checkSpawn validates one goroutine spawn: the closure must defer a
+// wg.Done(), and every path from the spawn to the function exit must pass
+// wg.Wait() on that same WaitGroup variable.
+func checkSpawn(f *File, fn *ssa.Func, b *ssa.Block, nodeIdx int, g *ast.GoStmt) *Diagnostic {
+	wg := doneTarget(f, g)
+	if wg == nil {
+		d := f.diag(g.Pos(), "ctxleak",
+			"goroutine does not signal a sync.WaitGroup (no defer wg.Done()); it cannot be joined by a stage barrier")
+		return &d
+	}
+	// Remaining nodes of the spawn block, then a DFS over successors: a
+	// block containing wg.Wait() seals that path; reaching exit without one
+	// means the goroutine can outlive the function.
+	for _, later := range b.Nodes[nodeIdx+1:] {
+		if nodeWaitsOn(f, later, wg) {
+			return nil
+		}
+	}
+	seen := map[*ssa.Block]bool{b: true}
+	var leaks func(blk *ssa.Block) bool
+	leaks = func(blk *ssa.Block) bool {
+		if blk == fn.Exit {
+			return true
+		}
+		if seen[blk] {
+			return false
+		}
+		seen[blk] = true
+		for _, node := range blk.Nodes {
+			if nodeWaitsOn(f, node, wg) {
+				return false
+			}
+		}
+		for _, e := range blk.Succs {
+			if leaks(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	escape := false
+	for _, e := range b.Succs {
+		if leaks(e.To) {
+			escape = true
+			break
+		}
+	}
+	if !escape {
+		return nil
+	}
+	d := f.diag(g.Pos(), "ctxleak",
+		fmt.Sprintf("goroutine can outlive its stage barrier: a path from this spawn reaches return without %s.Wait()", wg.Name()))
+	return &d
+}
+
+// doneTarget returns the WaitGroup variable the spawned closure signals
+// via a deferred Done(), or nil when the goroutine has no completion
+// signal this analysis can see. Direct calls (`go wg.Done()`-style
+// trampolines) and non-closure spawns yield nil.
+func doneTarget(f *File, g *ast.GoStmt) *types.Var {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok || lit.Body == nil {
+		return nil
+	}
+	var wg *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if wg != nil {
+			return false
+		}
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if v := waitGroupCallTarget(f, def.Call, "Done"); v != nil {
+			wg = v
+			return false
+		}
+		return true
+	})
+	return wg
+}
+
+// nodeWaitsOn reports whether the node (outside nested closures and
+// defers) calls Wait() on the given WaitGroup variable. A deferred Wait
+// does count — it runs before the function returns, which is exactly the
+// barrier property being checked.
+func nodeWaitsOn(f *File, node ast.Node, wg *types.Var) bool {
+	found := false
+	ssa.InspectShallow(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if waitGroupCallTarget(f, call, "Wait") == wg {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// waitGroupCallTarget resolves calls of the form `wg.<method>()` where wg
+// is a *sync.WaitGroup (or addressable sync.WaitGroup) variable, returning
+// the variable.
+func waitGroupCallTarget(f *File, call *ast.CallExpr, method string) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	fn, _ := f.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.FullName() != "(*sync.WaitGroup)."+method {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := objOf(f.Info, id).(*types.Var)
+	return v
+}

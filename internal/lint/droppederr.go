@@ -25,8 +25,20 @@ var droppedErrAllowedRecv = []string{
 	"(*bufio.Writer).",
 }
 
+// droppedErrDeferPackages are the packages where error discards at defer
+// time on writable resources are additionally flagged: the shuffle service
+// and the execution engine spill state to writers whose Close/Flush errors
+// are the only signal that buffered data was lost.
+var droppedErrDeferPackages = []string{
+	"chopper/internal/shuffle",
+	"chopper/internal/exec",
+}
+
 // DroppedErr flags expression-statement calls whose error result is
-// silently discarded.
+// silently discarded. In the shuffle/exec packages it additionally flags
+// defer-time discards on writable resources — `defer w.Close()` and
+// `defer func() { _ = w.Close() }()` — where the usually-sanctioned blank
+// assignment still swallows a data-loss signal.
 var DroppedErr = &Analyzer{
 	Name: "droppederr",
 	Doc:  "forbid call statements that silently discard an error result",
@@ -35,25 +47,105 @@ var DroppedErr = &Analyzer{
 			return nil
 		}
 		var diags []Diagnostic
+		checkDefers := pathIs(f.Path, droppedErrDeferPackages)
 		ast.Inspect(f.AST, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				t := f.typeOf(call)
+				if t == nil || !resultHasError(t) || allowedCallee(f, call) {
+					return true
+				}
+				diags = append(diags, f.diag(call.Pos(), "droppederr",
+					fmt.Sprintf("error result of %s is discarded; handle it or assign it to _ explicitly", calleeLabel(call))))
+			case *ast.DeferStmt:
+				if checkDefers {
+					diags = append(diags, deferredDiscards(f, n)...)
+				}
 			}
-			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			t := f.typeOf(call)
-			if t == nil || !resultHasError(t) || allowedCallee(f, call) {
-				return true
-			}
-			diags = append(diags, f.diag(call.Pos(), "droppederr",
-				fmt.Sprintf("error result of %s is discarded; handle it or assign it to _ explicitly", calleeLabel(call))))
 			return true
 		})
 		return diags
 	},
+}
+
+// deferredDiscards flags defer-time error discards on writable resources:
+// the deferred call itself (`defer w.Close()` — defers drop results
+// unconditionally) and explicit blank assignments inside a deferred
+// closure (`defer func() { _ = w.Close() }()`).
+func deferredDiscards(f *File, def *ast.DeferStmt) []Diagnostic {
+	var out []Diagnostic
+	if t := f.typeOf(def.Call); t != nil && resultHasError(t) && writableRecv(f, def.Call) {
+		out = append(out, f.diag(def.Call.Pos(), "droppederr",
+			fmt.Sprintf("deferred %s on a writable resource discards its error (buffered data loss would go unnoticed); check it in a deferred closure", calleeLabel(def.Call))))
+	}
+	lit, ok := ast.Unparen(def.Call.Fun).(*ast.FuncLit)
+	if !ok || lit.Body == nil {
+		return out
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if t := f.typeOf(call); t != nil && resultHasError(t) && writableRecv(f, call) {
+			out = append(out, f.diag(call.Pos(), "droppederr",
+				fmt.Sprintf("error of %s on a writable resource is blank-discarded inside a defer (buffered data loss would go unnoticed); handle it", calleeLabel(call))))
+		}
+		return true
+	})
+	return out
+}
+
+// writableRecv reports whether the call is a method call on a writable
+// resource: a receiver whose method set (value or pointer) includes
+// Write, WriteString, Flush, or Sync.
+func writableRecv(f *File, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := f.typeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	for _, name := range [...]string{"Write", "WriteString", "Flush", "Sync"} {
+		if hasMethod(t, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasMethod(t types.Type, name string) bool {
+	if lookupMethod(t, name) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr && !types.IsInterface(t) {
+		return lookupMethod(types.NewPointer(t), name)
+	}
+	return false
+}
+
+func lookupMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
 }
 
 var errorType = types.Universe.Lookup("error").Type()

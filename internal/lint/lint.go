@@ -20,6 +20,16 @@
 //	sharedescape   — state reachable from compute-pool goroutine bodies in
 //	                 internal/exec must not be written without holding a lock
 //	                 (call-graph walk seeded from the `go` statements)
+//	lockorder      — no cycles in the whole-program lock-acquisition-order
+//	                 graph over the scheduler/engine/shuffle packages
+//	                 (flow-sensitive held-set analysis; cycle ⇒ deadlock)
+//	nilflow        — no use of a result value on paths where its paired
+//	                 error is provably non-nil
+//	ctxleak        — compute-pool goroutines must defer wg.Done() and be
+//	                 joined by wg.Wait() on every path to return
+//
+// The last three rules run on the SSA-lite IR (internal/lint/ssa): basic
+// blocks with edge-labeled branch conditions and a lattice dataflow engine.
 //
 // Findings can be suppressed with a trailing or preceding comment of the
 // form `//lint:ignore <rule> <reason>`; the reason is mandatory.
@@ -35,7 +45,6 @@ import (
 	"go/token"
 	"go/types"
 	"io"
-	"sort"
 	"strings"
 	"sync"
 )
@@ -111,7 +120,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{WallTime, GlobalRand, MapOrder, DroppedErr, ClosureCapture, SharedEscape}
+	return []*Analyzer{WallTime, GlobalRand, MapOrder, DroppedErr, ClosureCapture, SharedEscape, LockOrder, NilFlow, CtxLeak}
 }
 
 // ByName resolves analyzer names (the -rules flag) to analyzers.
@@ -137,6 +146,12 @@ type Package struct {
 	Path  string
 	Files []*ast.File
 	Info  *types.Info
+
+	// Prog points back to the shared Program when the package was loaded
+	// through one; whole-program rules (lockorder) use it to reach sibling
+	// packages and the cross-package fact cache. Nil for standalone loads
+	// (golden fixtures), where those rules degrade to single-package scope.
+	Prog *Program
 
 	graphOnce sync.Once
 	cg        *callGraph
@@ -165,28 +180,9 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].File != out[j].File {
-			return out[i].File < out[j].File
-		}
-		if out[i].Line != out[j].Line {
-			return out[i].Line < out[j].Line
-		}
-		if out[i].Col != out[j].Col {
-			return out[i].Col < out[j].Col
-		}
-		return out[i].Rule < out[j].Rule
-	})
 	// Nested constructs (a map range inside a map range) can report the
-	// same finding twice; keep one.
-	dedup := out[:0]
-	for i, d := range out {
-		if i > 0 && d == out[i-1] {
-			continue
-		}
-		dedup = append(dedup, d)
-	}
-	return dedup
+	// same finding twice; SortDiagnostics drops the duplicate.
+	return SortDiagnostics(out)
 }
 
 // suppression is one parsed //lint:ignore directive.

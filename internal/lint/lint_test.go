@@ -27,6 +27,9 @@ var goldenCases = []struct {
 	{lint.DroppedErr, "droppederr", "chopper/internal/exec"},
 	{lint.ClosureCapture, "closurecapture", "chopper/internal/workloads"},
 	{lint.SharedEscape, "sharedescape", "chopper/internal/exec"},
+	{lint.LockOrder, "lockorder", "chopper/internal/exec"},
+	{lint.NilFlow, "nilflow", "chopper/internal/dag"},
+	{lint.CtxLeak, "ctxleak", "chopper/internal/exec"},
 }
 
 func moduleRoot(t *testing.T) string {
@@ -161,11 +164,15 @@ func TestRepoIsClean(t *testing.T) {
 		t.Skip("type-checks the whole module")
 	}
 	root := moduleRoot(t)
-	ld, err := lint.NewLoader(root)
+	// Load through a shared Program, as chopperlint does: packages are
+	// type-checked once and the whole-program lockorder graph spans the
+	// scheduler/engine/shuffle packages instead of degrading to
+	// per-package scope.
+	prog, err := lint.NewProgram(root)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dirs, err := ld.Match([]string{"./..."})
+	dirs, err := prog.Loader.Match([]string{"./..."})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +180,7 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatalf("suspiciously few packages matched: %v", dirs)
 	}
 	for _, dir := range dirs {
-		pkg, err := ld.Load(dir)
+		pkg, err := prog.Package(dir)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,498 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"chopper/internal/lint/ssa"
+)
+
+// lockOrderPackages are the packages whose lock acquisitions participate in
+// the whole-program lock-order graph: the scheduler, the execution engine,
+// and the shuffle service are the only components that take locks while
+// calling into one another.
+var lockOrderPackages = []string{
+	"chopper/internal/exec",
+	"chopper/internal/dag",
+	"chopper/internal/shuffle",
+}
+
+// LockOrder detects potential deadlocks: it builds a whole-program
+// lock-acquisition-order graph (an edge A→B for every program point that
+// acquires B while holding A, including acquisitions reached through
+// calls) over the scheduler/engine/shuffle packages and reports every
+// acquisition site participating in a cycle. The analysis is flow-
+// sensitive: held-lock sets are propagated over the SSA-lite CFG, so
+// locks released before a call do not produce edges, and `defer Unlock`
+// correctly keeps the lock held for the rest of the function.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "forbid cycles in the whole-program lock-acquisition-order graph",
+	Run: func(f *File) []Diagnostic {
+		if f.Info == nil || !pathIs(f.Path, lockOrderPackages) {
+			return nil
+		}
+		lp := lockProgramFor(f)
+		if lp == nil {
+			return nil
+		}
+		fileName := f.Fset.Position(f.AST.Pos()).Filename
+		var diags []Diagnostic
+		for _, e := range lp.cyclicEdges() {
+			cycle := lp.cycleVia(e.from, e.to)
+			for _, pos := range lp.edges[e] {
+				if f.Fset.Position(pos).Filename != fileName {
+					continue
+				}
+				diags = append(diags, f.diag(pos, "lockorder",
+					fmt.Sprintf("acquiring %s while holding %s creates a lock-order cycle (%s); potential deadlock",
+						e.to, e.from, strings.Join(cycle, " -> "))))
+			}
+		}
+		return diags
+	},
+}
+
+// lockEdge is one ordered pair in the acquisition graph.
+type lockEdge struct{ from, to string }
+
+// lockFunc is the per-function input to the interprocedural passes.
+type lockFunc struct {
+	fn   *ssa.Func
+	info *types.Info
+	pkg  string
+}
+
+// lockProgram is the whole-program lock-order fact, computed once per
+// Program (or once per package for standalone fixture loads).
+type lockProgram struct {
+	fset *token.FileSet
+	// funcs is keyed by types.Func.FullName(): pointer identity does not
+	// survive separate type-checks of importing packages, names do.
+	funcs map[string]*lockFunc
+	// methodsByName maps a method name to the FullNames of every concrete
+	// method bearing it, for interface-call resolution.
+	methodsByName map[string][]string
+	// mayAcquire is the transitive set of lock IDs each function can take.
+	mayAcquire map[string]map[string]bool
+	// edges maps each acquisition-order edge to the source positions of the
+	// acquisitions that created it.
+	edges map[lockEdge][]token.Pos
+}
+
+// lockProgramFor returns the shared whole-program graph when f was loaded
+// through a Program, or a single-package graph otherwise (fixtures).
+func lockProgramFor(f *File) *lockProgram {
+	if f.Pkg == nil {
+		return nil
+	}
+	if prog := f.Pkg.Prog; prog != nil {
+		v := prog.Fact("lockorder", func() any {
+			var pkgs []*Package
+			for _, path := range lockOrderPackages {
+				pkg, err := prog.PackageByPath(path)
+				if err != nil {
+					continue // package may not exist yet; analyze the rest
+				}
+				pkgs = append(pkgs, pkg)
+			}
+			return buildLockProgram(pkgs)
+		})
+		lp, _ := v.(*lockProgram)
+		return lp
+	}
+	return buildLockProgram([]*Package{f.Pkg})
+}
+
+// buildLockProgram lowers every function of the packages, saturates the
+// interprocedural mayAcquire facts, and collects acquisition-order edges
+// from a held-set dataflow over each function.
+func buildLockProgram(pkgs []*Package) *lockProgram {
+	lp := &lockProgram{
+		funcs:         map[string]*lockFunc{},
+		methodsByName: map[string][]string{},
+		mayAcquire:    map[string]map[string]bool{},
+		edges:         map[lockEdge][]token.Pos{},
+	}
+	for _, pkg := range pkgs {
+		lp.fset = pkg.Fset
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				tf, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				name := tf.FullName()
+				lf := &lockFunc{fn: ssa.BuildFunc(pkg.Fset, pkg.Info, fd), info: pkg.Info, pkg: pkg.Path}
+				lp.funcs[name] = lf
+				if sig, ok := tf.Type().(*types.Signature); ok && sig.Recv() != nil {
+					lp.methodsByName[fd.Name.Name] = append(lp.methodsByName[fd.Name.Name], name)
+				}
+			}
+		}
+	}
+	lp.saturate()
+	for _, name := range lp.sortedFuncNames() {
+		lp.collectEdges(lp.funcs[name])
+	}
+	return lp
+}
+
+func (lp *lockProgram) sortedFuncNames() []string {
+	names := make([]string, 0, len(lp.funcs))
+	for n := range lp.funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lockEvent is one lock-relevant action at a program point, in source order.
+type lockEvent struct {
+	kind string // "acquire", "release", "call"
+	lock string // for acquire/release
+	// callees are the resolved target FullNames (several for interface calls).
+	callees []string
+	pos     token.Pos
+}
+
+// blockEvents extracts the lock events of a basic block in evaluation
+// order. Defer and go bodies are skipped: a deferred Unlock must not end
+// the held range (the lock stays held until return), and a spawned
+// goroutine's acquisitions are not ordered after the spawner's held set.
+func (lp *lockProgram) blockEvents(lf *lockFunc, b *ssa.Block) []lockEvent {
+	var events []lockEvent
+	for _, node := range b.Nodes {
+		ssa.InspectShallow(node, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if ev, ok := lp.eventForCall(lf, n); ok {
+					events = append(events, ev)
+				}
+			}
+			return true
+		})
+	}
+	return events
+}
+
+// eventForCall classifies a call expression as a lock acquire/release, an
+// analyzed-function call, or nothing of interest.
+func (lp *lockProgram) eventForCall(lf *lockFunc, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		// Plain function call f(...).
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if fn, ok := lf.info.Uses[id].(*types.Func); ok {
+				if _, known := lp.funcs[fn.FullName()]; known {
+					return lockEvent{kind: "call", callees: []string{fn.FullName()}, pos: call.Pos()}, true
+				}
+			}
+		}
+		return lockEvent{}, false
+	}
+	fn, _ := lf.info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return lockEvent{}, false
+	}
+	full := fn.FullName()
+	switch full {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		if id := lp.lockIdent(lf, sel.X); id != "" {
+			return lockEvent{kind: "acquire", lock: id, pos: call.Pos()}, true
+		}
+		return lockEvent{}, false
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		if id := lp.lockIdent(lf, sel.X); id != "" {
+			return lockEvent{kind: "release", lock: id, pos: call.Pos()}, true
+		}
+		return lockEvent{}, false
+	}
+	if _, known := lp.funcs[full]; known {
+		return lockEvent{kind: "call", callees: []string{full}, pos: call.Pos()}, true
+	}
+	// Interface call: resolve by method name to every concrete method of
+	// the analyzed packages (conservative but deterministic).
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			if impls := lp.methodsByName[fn.Name()]; len(impls) > 0 {
+				return lockEvent{kind: "call", callees: impls, pos: call.Pos()}, true
+			}
+		}
+	}
+	return lockEvent{}, false
+}
+
+// lockIdent names the mutex an expression denotes: "pkg.Type.field" for a
+// field of a named struct, "pkg.var" for a package-level mutex. Locals and
+// unnameable expressions yield "" (untracked — a local mutex cannot form a
+// cross-function order).
+func (lp *lockProgram) lockIdent(lf *lockFunc, x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		v, _ := objOf(lf.info, x).(*types.Var)
+		if v != nil && isPkgLevel(v) {
+			return pkgBase(lf.pkg) + "." + v.Name()
+		}
+	case *ast.SelectorExpr:
+		v, _ := lf.info.Uses[x.Sel].(*types.Var)
+		if v == nil || !v.IsField() {
+			return ""
+		}
+		t := lf.info.TypeOf(x.X)
+		if t == nil {
+			return ""
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return pkgBase(named.Obj().Pkg().Path()) + "." + named.Obj().Name() + "." + v.Name()
+	}
+	return ""
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// saturate computes each function's transitive may-acquire set with a
+// fixed-point pass over direct acquisitions and call edges.
+func (lp *lockProgram) saturate() {
+	type callRef struct{ caller, callee string }
+	var calls []callRef
+	for name, lf := range lp.funcs {
+		acq := map[string]bool{}
+		for _, b := range lf.fn.Blocks {
+			for _, ev := range lp.blockEvents(lf, b) {
+				switch ev.kind {
+				case "acquire":
+					acq[ev.lock] = true
+				case "call":
+					for _, c := range ev.callees {
+						calls = append(calls, callRef{caller: name, callee: c})
+					}
+				}
+			}
+		}
+		lp.mayAcquire[name] = acq
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range calls {
+			from, to := lp.mayAcquire[c.caller], lp.mayAcquire[c.callee]
+			for l := range to {
+				if !from[l] {
+					from[l] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// heldSet is the dataflow fact: the set of lock IDs that may be held.
+type heldSet map[string]bool
+
+// collectEdges solves the held-set dataflow over one function's CFG, then
+// replays each block from its fixpoint in-fact recording acquisition-order
+// edges: held→new at direct acquires, held→mayAcquire(callee) at calls.
+func (lp *lockProgram) collectEdges(lf *lockFunc) {
+	analysis := &ssa.Analysis[heldSet]{
+		Dir:    ssa.Forward,
+		Bottom: func() heldSet { return nil },
+		Entry:  func() heldSet { return heldSet{} },
+		Join: func(a, b heldSet) heldSet {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			u := heldSet{}
+			for k := range a {
+				u[k] = true
+			}
+			for k := range b {
+				u[k] = true
+			}
+			return u
+		},
+		Equal: func(a, b heldSet) bool {
+			if (a == nil) != (b == nil) || len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *ssa.Block, in heldSet) heldSet {
+			if in == nil {
+				return nil
+			}
+			out := heldSet{}
+			for k := range in {
+				out[k] = true
+			}
+			for _, ev := range lp.blockEvents(lf, b) {
+				switch ev.kind {
+				case "acquire":
+					out[ev.lock] = true
+				case "release":
+					delete(out, ev.lock)
+				}
+			}
+			return out
+		},
+	}
+	res := analysis.Solve(lf.fn)
+
+	for _, b := range lf.fn.Blocks {
+		in := res.In[b.Index]
+		if in == nil {
+			continue // unreachable
+		}
+		held := heldSet{}
+		for k := range in {
+			held[k] = true
+		}
+		for _, ev := range lp.blockEvents(lf, b) {
+			switch ev.kind {
+			case "acquire":
+				for h := range held {
+					if h != ev.lock {
+						lp.addEdge(h, ev.lock, ev.pos)
+					}
+				}
+				held[ev.lock] = true
+			case "release":
+				delete(held, ev.lock)
+			case "call":
+				for _, c := range ev.callees {
+					for l := range lp.mayAcquire[c] {
+						for h := range held {
+							if h != l {
+								lp.addEdge(h, l, ev.pos)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (lp *lockProgram) addEdge(from, to string, pos token.Pos) {
+	e := lockEdge{from: from, to: to}
+	for _, p := range lp.edges[e] {
+		if p == pos {
+			return
+		}
+	}
+	lp.edges[e] = append(lp.edges[e], pos)
+}
+
+// cyclicEdges returns, sorted, every edge whose endpoints lie on a cycle
+// of the acquisition graph (the edge itself participates: to can reach
+// from).
+func (lp *lockProgram) cyclicEdges() []lockEdge {
+	var out []lockEdge
+	for e := range lp.edges {
+		if lp.reaches(e.to, e.from) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].from != out[j].from {
+			return out[i].from < out[j].from
+		}
+		return out[i].to < out[j].to
+	})
+	return out
+}
+
+// reaches reports whether the graph has a path from a to b.
+func (lp *lockProgram) reaches(a, b string) bool {
+	seen := map[string]bool{}
+	var walk func(n string) bool
+	walk = func(n string) bool {
+		if n == b {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		for _, next := range lp.succsOf(n) {
+			if walk(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, next := range lp.succsOf(a) {
+		if next == b || walk(next) {
+			return true
+		}
+	}
+	return false
+}
+
+// succsOf lists the graph successors of a lock, sorted for determinism.
+func (lp *lockProgram) succsOf(n string) []string {
+	var out []string
+	for e := range lp.edges {
+		if e.from == n {
+			out = append(out, e.to)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// cycleVia renders one representative cycle through the edge from→to.
+func (lp *lockProgram) cycleVia(from, to string) []string {
+	path := []string{from, to}
+	seen := map[string]bool{from: true, to: true}
+	cur := to
+	for cur != from {
+		advanced := false
+		for _, next := range lp.succsOf(cur) {
+			if next == from {
+				cur = from
+				advanced = true
+				break
+			}
+			if !seen[next] && lp.reaches(next, from) {
+				seen[next] = true
+				path = append(path, next)
+				cur = next
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	return append(path, from)
+}

@@ -1,0 +1,361 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"chopper/internal/lint/ssa"
+)
+
+// NilFlow flags uses of a value on control-flow paths where its paired
+// error is provably non-nil: in `v, err := f()`, any later read of v that
+// is only reachable through the `err != nil` side of a check is almost
+// certainly a bug — by Go convention the value half of an (value, error)
+// pair carries no guarantee when the error is set. The analysis is a
+// must-analysis over the SSA-lite CFG (a use is flagged only when EVERY
+// path to it proves the error non-nil), so merges of checked and unchecked
+// paths never fire.
+//
+// Idiomatic error-path expressions are exempt: returning v alongside the
+// error, comparing v against nil (an explicit validity check dissolves the
+// pairing), and overwriting v.
+var NilFlow = &Analyzer{
+	Name: "nilflow",
+	Doc:  "forbid using a result value on paths where its paired error is non-nil",
+	Run: func(f *File) []Diagnostic {
+		if f.Info == nil {
+			return nil
+		}
+		var diags []Diagnostic
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := ssa.BuildFunc(f.Fset, f.Info, fd)
+			diags = append(diags, nilflowFunc(f, fn)...)
+		}
+		return diags
+	},
+}
+
+// errStatus is the per-pair lattice: what is known about the paired error
+// on the current path.
+type errStatus int
+
+const (
+	errUnknown errStatus = iota // unchecked, or paths disagree
+	errNil                      // provably nil on every path here
+	errNonNil                   // provably non-nil on every path here
+)
+
+// pairFact is the status of one (value, error) pair.
+type pairFact struct {
+	err    *types.Var
+	status errStatus
+}
+
+// nilFacts maps each paired value variable to its pair's state. nil means
+// unreached (bottom).
+type nilFacts map[*types.Var]pairFact
+
+func cloneNilFacts(in nilFacts) nilFacts {
+	out := nilFacts{}
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func nilflowFunc(f *File, fn *ssa.Func) []Diagnostic {
+	analysis := &ssa.Analysis[nilFacts]{
+		Dir:    ssa.Forward,
+		Bottom: func() nilFacts { return nil },
+		Entry:  func() nilFacts { return nilFacts{} },
+		Join: func(a, b nilFacts) nilFacts {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			// Must-analysis: a pair survives a merge only if both sides track
+			// it; statuses that disagree decay to unknown.
+			out := nilFacts{}
+			for v, fa := range a {
+				fb, ok := b[v]
+				if !ok || fa.err != fb.err {
+					continue
+				}
+				if fa.status != fb.status {
+					fa.status = errUnknown
+				}
+				out[v] = fa
+			}
+			return out
+		},
+		Equal: func(a, b nilFacts) bool {
+			if (a == nil) != (b == nil) || len(a) != len(b) {
+				return false
+			}
+			for v, fa := range a {
+				if fb, ok := b[v]; !ok || fa != fb {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *ssa.Block, in nilFacts) nilFacts {
+			if in == nil {
+				return nil
+			}
+			out := cloneNilFacts(in)
+			for _, node := range b.Nodes {
+				applyNilflowNode(f, node, out, nil)
+			}
+			return out
+		},
+		TransferEdge: func(e *ssa.Edge, out nilFacts) nilFacts {
+			if out == nil || e.Cond == nil {
+				return out
+			}
+			errVar, nonNilWhenTrue, ok := errNilCondition(f, e.Cond)
+			if !ok {
+				return out
+			}
+			status := errNil
+			if (e.Kind == ssa.CondTrue) == nonNilWhenTrue {
+				status = errNonNil
+			}
+			refined := cloneNilFacts(out)
+			for v, p := range refined {
+				if p.err == errVar {
+					p.status = status
+					refined[v] = p
+				}
+			}
+			return refined
+		},
+	}
+	res := analysis.Solve(fn)
+
+	// Replay each block from its fixpoint in-fact, reporting value reads
+	// under a proven-non-nil error.
+	var diags []Diagnostic
+	for _, b := range fn.Blocks {
+		in := res.In[b.Index]
+		if in == nil {
+			continue
+		}
+		facts := cloneNilFacts(in)
+		for _, node := range b.Nodes {
+			applyNilflowNode(f, node, facts, func(id *ast.Ident, p pairFact) {
+				diags = append(diags, f.diag(id.Pos(), "nilflow",
+					fmt.Sprintf("%s is used here, but on this path %s is non-nil and %s carries no guarantee",
+						id.Name, p.err.Name(), id.Name)))
+			})
+		}
+	}
+	return diags
+}
+
+// applyNilflowNode advances the facts across one block node in place. When
+// report is non-nil it is invoked for every flagged use.
+func applyNilflowNode(f *File, node ast.Node, facts nilFacts, report func(*ast.Ident, pairFact)) {
+	// Reads are checked before the node's own kills take effect (the RHS of
+	// an assignment executes first).
+	if report != nil {
+		checkNilflowReads(f, node, facts, report)
+	}
+	ssa.InspectShallow(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			applyNilflowAssign(f, n, facts)
+		case *ast.BinaryExpr:
+			// An explicit nil check of the value is a validity decision by
+			// the programmer; stop second-guessing the pair from here on.
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if v := nilComparedVar(f, n); v != nil {
+					delete(facts, v)
+				}
+			}
+		case *ast.UnaryExpr:
+			// Taking the value's address gives aliases we cannot track.
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if v, ok := objOf(f.Info, id).(*types.Var); ok {
+						delete(facts, v)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// applyNilflowAssign updates pair tracking for one assignment: a
+// multi-result call with exactly one error result and one non-error
+// result establishes a pair; any write to a tracked value or its error
+// kills existing pairs.
+func applyNilflowAssign(f *File, as *ast.AssignStmt, facts nilFacts) {
+	// Kill pairs whose value or error is overwritten.
+	var written []*types.Var
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if v, ok := objOf(f.Info, id).(*types.Var); ok {
+				written = append(written, v)
+			}
+		}
+	}
+	for _, w := range written {
+		delete(facts, w)
+		for v, p := range facts {
+			if p.err == w {
+				delete(facts, v)
+			}
+		}
+	}
+	// Establish a new pair: v, err := f().
+	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return
+	}
+	if _, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); !ok {
+		return
+	}
+	v0, v1 := assignVar(f, as.Lhs[0]), assignVar(f, as.Lhs[1])
+	if v0 == nil || v1 == nil {
+		return
+	}
+	if isErrorVar(v1) && !isErrorVar(v0) && nilable(v0.Type()) {
+		facts[v0] = pairFact{err: v1, status: errUnknown}
+	}
+}
+
+// checkNilflowReads reports reads of tracked values under a non-nil error,
+// skipping the idiomatic exemptions (returns, nil comparisons, assignment
+// targets).
+func checkNilflowReads(f *File, node ast.Node, facts nilFacts, report func(*ast.Ident, pairFact)) {
+	skip := map[*ast.Ident]bool{}
+	if ret, ok := node.(*ast.ReturnStmt); ok {
+		// `return v, err` is the idiom, not the bug — but only when v is
+		// handed back verbatim; a method call or field read on v inside a
+		// return still dereferences an invalid value.
+		for _, r := range ret.Results {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+				skip[id] = true
+			}
+		}
+	}
+	ssa.InspectShallow(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					skip[id] = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if isNilExpr(n.X) || isNilExpr(n.Y) {
+					if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+						skip[id] = true
+					}
+					if id, ok := ast.Unparen(n.Y).(*ast.Ident); ok {
+						skip[id] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ssa.InspectShallow(node, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || skip[id] {
+			return true
+		}
+		v, ok := f.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if p, tracked := facts[v]; tracked && p.status == errNonNil {
+			report(id, p)
+			// One report per pair per node is enough.
+			delete(facts, v)
+		}
+		return true
+	})
+}
+
+// errNilCondition decodes conditions of the form `err != nil` / `err == nil`
+// over an error-typed variable. nonNilWhenTrue reports whether the true
+// branch is the non-nil side.
+func errNilCondition(f *File, cond ast.Expr) (errVar *types.Var, nonNilWhenTrue, ok bool) {
+	be, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false, false
+	}
+	var id *ast.Ident
+	switch {
+	case isNilExpr(be.Y):
+		id, _ = ast.Unparen(be.X).(*ast.Ident)
+	case isNilExpr(be.X):
+		id, _ = ast.Unparen(be.Y).(*ast.Ident)
+	}
+	if id == nil {
+		return nil, false, false
+	}
+	v, isVar := objOf(f.Info, id).(*types.Var)
+	if !isVar || !isErrorVar(v) {
+		return nil, false, false
+	}
+	return v, be.Op == token.NEQ, true
+}
+
+// nilComparedVar returns the variable compared against nil in the
+// expression, or nil when the comparison has another shape.
+func nilComparedVar(f *File, be *ast.BinaryExpr) *types.Var {
+	var id *ast.Ident
+	switch {
+	case isNilExpr(be.Y):
+		id, _ = ast.Unparen(be.X).(*ast.Ident)
+	case isNilExpr(be.X):
+		id, _ = ast.Unparen(be.Y).(*ast.Ident)
+	}
+	if id == nil {
+		return nil
+	}
+	v, _ := objOf(f.Info, id).(*types.Var)
+	return v
+}
+
+// assignVar resolves a plain-identifier assignment target to its variable.
+func assignVar(f *File, lhs ast.Expr) *types.Var {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := objOf(f.Info, id).(*types.Var)
+	return v
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func isErrorVar(v *types.Var) bool {
+	return v != nil && types.Identical(v.Type(), errorType)
+}
+
+// nilable reports whether a type has a meaningful nil/zero "no value"
+// state worth protecting: pointers, interfaces, maps, slices, channels,
+// and functions.
+func nilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Slice, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}

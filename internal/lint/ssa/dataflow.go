@@ -1,0 +1,120 @@
+package ssa
+
+// Direction orients a dataflow analysis.
+type Direction int
+
+const (
+	// Forward propagates facts from Entry along successor edges.
+	Forward Direction = iota
+	// Backward propagates facts from Exit along predecessor edges.
+	Backward
+)
+
+// Analysis is one lattice-based dataflow problem over a Func's CFG. F is
+// the fact type (a lattice element). The solver iterates Transfer to a
+// fixpoint with a worklist; termination comes from Join being monotone and
+// the lattice having finite height — or, for unbounded lattices, from
+// Widen kicking in after WidenAfter visits of the same block.
+type Analysis[F any] struct {
+	Dir Direction
+	// Bottom is the lattice's least element, the initial in-fact of every
+	// block except the boundary block.
+	Bottom func() F
+	// Entry is the boundary fact (at Entry for Forward, Exit for Backward).
+	Entry func() F
+	// Join combines facts flowing in from multiple edges. Must be monotone.
+	Join func(a, b F) F
+	// Equal reports lattice-element equality; the fixpoint test.
+	Equal func(a, b F) bool
+	// Transfer maps a block's in-fact to its out-fact.
+	Transfer func(b *Block, in F) F
+	// TransferEdge optionally refines a fact along a specific edge (e.g.
+	// `err != nil` true-edges). Applied after the source's Transfer. Nil
+	// means identity.
+	TransferEdge func(e *Edge, out F) F
+	// Widen, if non-nil, is applied in place of Join once a block has been
+	// re-joined more than WidenAfter times, to force convergence on
+	// infinite-height lattices. old is the previous in-fact, next the newly
+	// joined one.
+	Widen func(old, next F) F
+	// WidenAfter is the re-visit threshold before Widen applies; it is
+	// ignored when Widen is nil. Zero means widen from the first re-visit.
+	WidenAfter int
+}
+
+// Result holds the per-block fixpoint facts.
+type Result[F any] struct {
+	// In and Out are indexed by Block.Index. For Backward analyses, In is
+	// still "fact before the block in analysis order" — i.e. the fact at
+	// block exit — and Out the fact at block entry.
+	In, Out []F
+}
+
+// Solve runs the analysis to fixpoint over fn's CFG and returns the
+// per-block facts.
+func (a *Analysis[F]) Solve(fn *Func) *Result[F] {
+	n := len(fn.Blocks)
+	res := &Result[F]{In: make([]F, n), Out: make([]F, n)}
+	for i := range res.In {
+		res.In[i] = a.Bottom()
+		res.Out[i] = a.Bottom()
+	}
+	boundary := fn.Entry
+	if a.Dir == Backward {
+		boundary = fn.Exit
+	}
+	if boundary == nil {
+		return res
+	}
+	res.In[boundary.Index] = a.Entry()
+
+	visits := make([]int, n)
+	inQueue := make([]bool, n)
+	queue := []*Block{boundary}
+	inQueue[boundary.Index] = true
+
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		inQueue[b.Index] = false
+
+		out := a.Transfer(b, res.In[b.Index])
+		res.Out[b.Index] = out
+
+		for _, e := range a.succs(b) {
+			next := e.To
+			if a.Dir == Backward {
+				next = e.From
+			}
+			flowed := out
+			if a.TransferEdge != nil {
+				flowed = a.TransferEdge(e, out)
+			}
+			joined := a.Join(res.In[next.Index], flowed)
+			if a.Equal(joined, res.In[next.Index]) {
+				continue
+			}
+			visits[next.Index]++
+			if a.Widen != nil && visits[next.Index] > a.WidenAfter {
+				joined = a.Widen(res.In[next.Index], joined)
+				if a.Equal(joined, res.In[next.Index]) {
+					continue
+				}
+			}
+			res.In[next.Index] = joined
+			if !inQueue[next.Index] {
+				inQueue[next.Index] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return res
+}
+
+// succs returns the edges facts flow across from b, respecting direction.
+func (a *Analysis[F]) succs(b *Block) []*Edge {
+	if a.Dir == Backward {
+		return b.Preds
+	}
+	return b.Succs
+}

@@ -1,0 +1,565 @@
+// Package ssa is chopperlint's SSA-lite intermediate representation: a
+// control-flow graph of basic blocks lowered from go/ast function bodies,
+// with def/use facts resolved through go/types, and a small lattice-based
+// dataflow engine (forward and backward, with optional widening) on top.
+//
+// "Lite" is deliberate: there is no value numbering and no phi insertion.
+// The rules built on this IR (lockorder, nilflow, ctxleak) need exactly
+// three things the raw AST cannot give them — evaluation order across
+// branches, edge-labeled conditions (the `err != nil` refinement), and a
+// fixpoint solver for loops — and nothing more. Keeping the IR this small
+// preserves the module's zero-dependency property and keeps lowering
+// obviously correct, which matters for a linter that gates CI.
+//
+// Lowering covers the statement forms that appear in this repository:
+// if/else, for (all clause shapes), range, switch, type switch, select,
+// labeled break/continue, goto, defer, go, and return. Unreachable code
+// after a return lands in a predecessor-less block, so facts there stay
+// bottom and rules naturally ignore it.
+package ssa
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EdgeKind classifies a control-flow edge.
+type EdgeKind int
+
+const (
+	// Fallthrough is an unconditional edge.
+	Fallthrough EdgeKind = iota
+	// CondTrue is taken when the source block's Cond evaluates true.
+	CondTrue
+	// CondFalse is taken when the source block's Cond evaluates false.
+	CondFalse
+)
+
+// Edge is one control-flow edge. Cond is the branch condition for
+// CondTrue/CondFalse edges (the source block's Cond), nil otherwise.
+type Edge struct {
+	From, To *Block
+	Kind     EdgeKind
+	Cond     ast.Expr
+}
+
+// Block is a basic block: a maximal straight-line sequence of AST nodes.
+// Nodes holds statements and, for branch blocks, the condition expression
+// (last), in evaluation order. Range-loop heads carry the range operand and
+// the key/value expressions instead of the whole RangeStmt, so a rule
+// scanning Nodes never re-visits the loop body.
+type Block struct {
+	Index int
+	// Comment labels the block's origin ("entry", "if.then", "for.head"...)
+	// for debugging and tests.
+	Comment string
+	Nodes   []ast.Node
+	// Cond is the branch condition when the block ends in a conditional
+	// (if or for heads); nil otherwise.
+	Cond  ast.Expr
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// String renders a short description for tests and debugging.
+func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Comment) }
+
+// Func is one lowered function: the CFG plus the type facts needed by
+// analyses. Entry has no predecessors; Exit collects every return path and
+// the fall-off-the-end edge.
+type Func struct {
+	// Name labels the function in diagnostics ("(*Engine).RunWave").
+	Name string
+	// Decl is the lowered declaration; nil for hand-built CFGs in tests.
+	Decl   *ast.FuncDecl
+	Fset   *token.FileSet
+	Info   *types.Info
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// NewBlock appends a fresh block to the function. Exposed so tests can
+// hand-build CFGs for the dataflow engine.
+func (f *Func) NewBlock(comment string) *Block {
+	b := &Block{Index: len(f.Blocks), Comment: comment}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Connect adds an edge between two blocks of the function. Exposed for
+// hand-built CFGs.
+func (f *Func) Connect(from, to *Block, kind EdgeKind, cond ast.Expr) *Edge {
+	e := &Edge{From: from, To: to, Kind: kind, Cond: cond}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+	return e
+}
+
+// BuildFunc lowers a function declaration to a CFG. Declarations without a
+// body (externals) yield a two-block entry→exit graph.
+func BuildFunc(fset *token.FileSet, info *types.Info, decl *ast.FuncDecl) *Func {
+	fn := &Func{Name: FuncDisplayName(decl), Decl: decl, Fset: fset, Info: info}
+	fn.Entry = fn.NewBlock("entry")
+	fn.Exit = fn.NewBlock("exit")
+	b := &builder{fn: fn, cur: fn.Entry, labels: map[string]*labelInfo{}}
+	if decl.Body != nil {
+		b.stmtList(decl.Body.List)
+	}
+	b.jump(fn.Exit)
+	b.resolveGotos()
+	return fn
+}
+
+// BuildFuncLit lowers a function literal (closure bodies are analyzed as
+// their own little functions).
+func BuildFuncLit(fset *token.FileSet, info *types.Info, name string, lit *ast.FuncLit) *Func {
+	fn := &Func{Name: name, Fset: fset, Info: info}
+	fn.Entry = fn.NewBlock("entry")
+	fn.Exit = fn.NewBlock("exit")
+	b := &builder{fn: fn, cur: fn.Entry, labels: map[string]*labelInfo{}}
+	if lit.Body != nil {
+		b.stmtList(lit.Body.List)
+	}
+	b.jump(fn.Exit)
+	b.resolveGotos()
+	return fn
+}
+
+// FuncDisplayName renders a declaration's human-readable name, including a
+// pointer-stripped receiver type for methods.
+func FuncDisplayName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	t := decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + id.Name + ")." + decl.Name.Name
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		if id, ok := idx.X.(*ast.Ident); ok {
+			return "(" + id.Name + ")." + decl.Name.Name
+		}
+	}
+	return decl.Name.Name
+}
+
+// labelInfo tracks a label's break/continue targets and (for goto) its
+// entry block.
+type labelInfo struct {
+	breakTo    *Block
+	continueTo *Block
+	gotoTo     *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// loopFrame is one enclosing breakable/continuable construct.
+type loopFrame struct {
+	label      string // enclosing label, "" if none
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type builder struct {
+	fn     *Func
+	cur    *Block
+	frames []loopFrame
+	labels map[string]*labelInfo
+	gotos  []pendingGoto
+	// pendingLabel carries a label to attach to the next loop/switch frame.
+	pendingLabel string
+}
+
+// emit appends a node to the current block.
+func (b *builder) emit(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+// jump ends the current block with an unconditional edge and leaves the
+// builder on a fresh (possibly unreachable) block. Empty blocks that
+// nothing reaches (the blocks opened after return/break/panic) are not
+// wired in, so the exit's predecessors are exactly the real return paths.
+func (b *builder) jump(to *Block) {
+	if len(b.cur.Preds) == 0 && len(b.cur.Nodes) == 0 && b.cur != b.fn.Entry {
+		return
+	}
+	b.fn.Connect(b.cur, to, Fallthrough, nil)
+}
+
+// startBlock switches emission to block.
+func (b *builder) startBlock(block *Block) { b.cur = block }
+
+// branch ends the current block on cond with true/false edges.
+func (b *builder) branch(cond ast.Expr, onTrue, onFalse *Block) {
+	b.cur.Cond = cond
+	if cond != nil {
+		b.emit(cond)
+	}
+	b.fn.Connect(b.cur, onTrue, CondTrue, cond)
+	b.fn.Connect(b.cur, onFalse, CondFalse, cond)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.EmptyStmt:
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.jump(b.fn.Exit)
+		b.startBlock(b.fn.NewBlock("unreachable.return"))
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(s, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	case *ast.ExprStmt:
+		b.emit(s)
+		if isPanicCall(s.X) {
+			b.jump(b.fn.Exit)
+			b.startBlock(b.fn.NewBlock("unreachable.panic"))
+		}
+	default:
+		// Assign, Decl, IncDec, Send, Go, Defer: straight-line.
+		b.emit(s)
+	}
+}
+
+// takeLabel consumes the label attached by a LabeledStmt wrapping a loop or
+// switch.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	// A goto target needs a dedicated block so back-jumps have somewhere to
+	// land.
+	target := b.fn.NewBlock("label." + name)
+	b.jump(target)
+	b.startBlock(target)
+	li.gotoTo = target
+	switch s.Stmt.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.pendingLabel = name
+	}
+	b.stmt(s.Stmt)
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if to := b.findFrame(label, false); to != nil {
+			b.jump(to)
+		} else {
+			b.jump(b.fn.Exit) // malformed code; stay safe
+		}
+		b.startBlock(b.fn.NewBlock("unreachable.break"))
+	case token.CONTINUE:
+		if to := b.findFrame(label, true); to != nil {
+			b.jump(to)
+		} else {
+			b.jump(b.fn.Exit)
+		}
+		b.startBlock(b.fn.NewBlock("unreachable.continue"))
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		b.startBlock(b.fn.NewBlock("unreachable.goto"))
+	case token.FALLTHROUGH:
+		// Handled structurally by switchStmt; a stray fallthrough is ignored.
+	}
+}
+
+// findFrame locates the break (or continue) target for an optionally
+// labeled branch.
+func (b *builder) findFrame(label string, wantContinue bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		fr := b.frames[i]
+		if label != "" && fr.label != label {
+			continue
+		}
+		if wantContinue {
+			if fr.continueTo != nil {
+				return fr.continueTo
+			}
+			if label != "" {
+				return nil
+			}
+			continue // switch frame: continue binds to the enclosing loop
+		}
+		return fr.breakTo
+	}
+	return nil
+}
+
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotos {
+		li := b.labels[g.label]
+		if li == nil || li.gotoTo == nil {
+			b.fn.Connect(g.from, b.fn.Exit, Fallthrough, nil)
+			continue
+		}
+		b.fn.Connect(g.from, li.gotoTo, Fallthrough, nil)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	then := b.fn.NewBlock("if.then")
+	done := b.fn.NewBlock("if.done")
+	onFalse := done
+	var elseB *Block
+	if s.Else != nil {
+		elseB = b.fn.NewBlock("if.else")
+		onFalse = elseB
+	}
+	b.branch(s.Cond, then, onFalse)
+
+	b.startBlock(then)
+	b.stmt(s.Body)
+	b.jump(done)
+
+	if elseB != nil {
+		b.startBlock(elseB)
+		b.stmt(s.Else)
+		b.jump(done)
+	}
+	b.startBlock(done)
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	head := b.fn.NewBlock("for.head")
+	body := b.fn.NewBlock("for.body")
+	done := b.fn.NewBlock("for.done")
+	contTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.fn.NewBlock("for.post")
+		contTo = post
+	}
+	b.jump(head)
+	b.startBlock(head)
+	if s.Cond != nil {
+		b.branch(s.Cond, body, done)
+	} else {
+		b.fn.Connect(head, body, Fallthrough, nil)
+	}
+
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: done, continueTo: contTo})
+	b.startBlock(body)
+	b.stmt(s.Body)
+	b.frames = b.frames[:len(b.frames)-1]
+
+	if post != nil {
+		b.jump(post)
+		b.startBlock(post)
+		b.emit(s.Post)
+		b.jump(head)
+	} else {
+		b.jump(head)
+	}
+	b.startBlock(done)
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	// Range operand is evaluated once, before the loop.
+	b.emit(s.X)
+	head := b.fn.NewBlock("range.head")
+	body := b.fn.NewBlock("range.body")
+	done := b.fn.NewBlock("range.done")
+	b.jump(head)
+	b.startBlock(head)
+	// The head assigns the key/value variables each iteration; expose the
+	// expressions so def/use scans see them without re-visiting the body.
+	if s.Key != nil {
+		b.emit(s.Key)
+	}
+	if s.Value != nil {
+		b.emit(s.Value)
+	}
+	b.fn.Connect(head, body, CondTrue, nil)
+	b.fn.Connect(head, done, CondFalse, nil)
+
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: done, continueTo: head})
+	b.startBlock(body)
+	b.stmt(s.Body)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.jump(head)
+	b.startBlock(done)
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	if s.Tag != nil {
+		b.emit(s.Tag)
+	}
+	done := b.fn.NewBlock("switch.done")
+	head := b.cur
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: done})
+
+	var caseBlocks []*Block
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, raw := range s.Body.List {
+		cc := raw.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		caseBlocks = append(caseBlocks, b.fn.NewBlock("switch.case"))
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for _, cb := range caseBlocks {
+		b.fn.Connect(head, cb, Fallthrough, nil)
+	}
+	if !hasDefault {
+		b.fn.Connect(head, done, Fallthrough, nil)
+	}
+	for i, cc := range clauses {
+		b.startBlock(caseBlocks[i])
+		for _, e := range cc.List {
+			b.emit(e)
+		}
+		b.stmtList(cc.Body)
+		// An explicit fallthrough at the end of the clause continues into the
+		// next case body.
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(caseBlocks) {
+				b.jump(caseBlocks[i+1])
+				b.startBlock(b.fn.NewBlock("unreachable.fallthrough"))
+				continue
+			}
+		}
+		b.jump(done)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.startBlock(done)
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	done := b.fn.NewBlock("typeswitch.done")
+	head := b.cur
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: done})
+	hasDefault := false
+	var caseBlocks []*Block
+	var clauses []*ast.CaseClause
+	for _, raw := range s.Body.List {
+		cc := raw.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		caseBlocks = append(caseBlocks, b.fn.NewBlock("typeswitch.case"))
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for _, cb := range caseBlocks {
+		b.fn.Connect(head, cb, Fallthrough, nil)
+	}
+	if !hasDefault {
+		b.fn.Connect(head, done, Fallthrough, nil)
+	}
+	for i, cc := range clauses {
+		b.startBlock(caseBlocks[i])
+		// The per-clause binding of `x := y.(type)` is re-declared in every
+		// clause; expose the assign so def scans see it.
+		if s.Assign != nil {
+			b.emit(s.Assign)
+		}
+		b.stmtList(cc.Body)
+		b.jump(done)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.startBlock(done)
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	done := b.fn.NewBlock("select.done")
+	head := b.cur
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: done})
+	if len(s.Body.List) == 0 {
+		// select{} blocks forever.
+		b.fn.Connect(head, b.fn.Exit, Fallthrough, nil)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.startBlock(done)
+		return
+	}
+	for _, raw := range s.Body.List {
+		cc := raw.(*ast.CommClause)
+		cb := b.fn.NewBlock("select.case")
+		b.fn.Connect(head, cb, Fallthrough, nil)
+		b.startBlock(cb)
+		if cc.Comm != nil {
+			b.emit(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(done)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.startBlock(done)
+}
+
+// isPanicCall reports whether e is a direct call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// InspectShallow walks a node like ast.Inspect but does not descend into
+// nested function literals: a rule scanning a block's nodes must not treat
+// a closure's body as executing at the enclosing block's program point.
+func InspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return visit(m)
+	})
+}

@@ -1,0 +1,494 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFromSrc lowers the first function declaration in src. Lowering does
+// not consult type information, so these tests run without a type-checker.
+func buildFromSrc(t *testing.T, src string) *Func {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return BuildFunc(fset, nil, fd)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// reachable returns the comments of blocks reachable from Entry.
+func reachable(fn *Func) map[string]*Block {
+	seen := map[*Block]bool{}
+	out := map[string]*Block{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		out[b.Comment] = b
+		for _, e := range b.Succs {
+			walk(e.To)
+		}
+	}
+	walk(fn.Entry)
+	return out
+}
+
+func succKinds(b *Block) []EdgeKind {
+	var ks []EdgeKind
+	for _, e := range b.Succs {
+		ks = append(ks, e.Kind)
+	}
+	return ks
+}
+
+func TestIfElseDiamond(t *testing.T) {
+	fn := buildFromSrc(t, `
+func f(x int) int {
+	y := 0
+	if x > 0 {
+		y = 1
+	} else {
+		y = 2
+	}
+	return y
+}`)
+	blocks := reachable(fn)
+	for _, want := range []string{"entry", "if.then", "if.else", "if.done", "exit"} {
+		if blocks[want] == nil {
+			t.Fatalf("missing reachable block %q; have %v", want, fn.Blocks)
+		}
+	}
+	entry := blocks["entry"]
+	if entry.Cond == nil {
+		t.Fatal("entry should end in the if condition")
+	}
+	ks := succKinds(entry)
+	if len(ks) != 2 || ks[0] != CondTrue || ks[1] != CondFalse {
+		t.Fatalf("entry succ kinds = %v, want [CondTrue CondFalse]", ks)
+	}
+	if entry.Succs[0].To != blocks["if.then"] || entry.Succs[1].To != blocks["if.else"] {
+		t.Fatal("branch edges wired to wrong blocks")
+	}
+	done := blocks["if.done"]
+	if len(done.Preds) != 2 {
+		t.Fatalf("if.done preds = %d, want 2 (then+else)", len(done.Preds))
+	}
+	// The return jumps straight to exit.
+	if len(fn.Exit.Preds) != 1 || fn.Exit.Preds[0].From != done {
+		t.Fatalf("exit preds = %v, want [if.done]", fn.Exit.Preds)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	fn := buildFromSrc(t, `
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	blocks := reachable(fn)
+	head := blocks["for.head"]
+	if head == nil || head.Cond == nil {
+		t.Fatal("for.head with condition expected")
+	}
+	post := blocks["for.post"]
+	if post == nil {
+		t.Fatal("for.post expected")
+	}
+	// post → head is the back edge.
+	backEdge := false
+	for _, e := range post.Succs {
+		if e.To == head {
+			backEdge = true
+		}
+	}
+	if !backEdge {
+		t.Fatal("missing back edge for.post → for.head")
+	}
+	// head branches body (true) / done (false).
+	ks := succKinds(head)
+	if len(ks) != 2 || ks[0] != CondTrue || ks[1] != CondFalse {
+		t.Fatalf("for.head succ kinds = %v", ks)
+	}
+}
+
+func TestRangeLoopExposesKeyValue(t *testing.T) {
+	fn := buildFromSrc(t, `
+func f(xs []int) int {
+	s := 0
+	for i, v := range xs {
+		s += i + v
+	}
+	return s
+}`)
+	blocks := reachable(fn)
+	head := blocks["range.head"]
+	if head == nil {
+		t.Fatal("range.head expected")
+	}
+	if len(head.Nodes) != 2 {
+		t.Fatalf("range.head nodes = %d, want 2 (key and value idents)", len(head.Nodes))
+	}
+	// Back edge from body to head, exit edge to done.
+	body := blocks["range.body"]
+	if body == nil {
+		t.Fatal("range.body expected")
+	}
+	back := false
+	for _, e := range body.Succs {
+		if e.To == head {
+			back = true
+		}
+	}
+	if !back {
+		t.Fatal("missing back edge range.body → range.head")
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	fn := buildFromSrc(t, `
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		s += i
+	}
+	return s
+}`)
+	blocks := reachable(fn)
+	done := blocks["for.done"]
+	post := blocks["for.post"]
+	if done == nil || post == nil {
+		t.Fatal("for.done and for.post expected")
+	}
+	// break reaches for.done from inside an if.then; continue reaches
+	// for.post the same way. Each target therefore has >1 predecessor.
+	if len(done.Preds) < 2 {
+		t.Fatalf("for.done preds = %d, want >= 2 (cond-false + break)", len(done.Preds))
+	}
+	if len(post.Preds) < 2 {
+		t.Fatalf("for.post preds = %d, want >= 2 (body fallthrough + continue)", len(post.Preds))
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	fn := buildFromSrc(t, `
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 5 {
+				break outer
+			}
+			s++
+		}
+	}
+	return s
+}`)
+	blocks := reachable(fn)
+	// The labeled break must land on the OUTER loop's done block: the block
+	// holding the return must have a predecessor inside the inner body.
+	outerDone := blocks["for.done"]
+	if outerDone == nil {
+		t.Fatal("for.done expected")
+	}
+	// The outer done is the one whose successor chain reaches exit.
+	foundInnerPred := false
+	for _, b := range fn.Blocks {
+		if b.Comment != "for.done" {
+			continue
+		}
+		for _, e := range b.Preds {
+			if strings.HasPrefix(e.From.Comment, "if.then") {
+				foundInnerPred = true
+			}
+		}
+	}
+	if !foundInnerPred {
+		t.Fatal("break outer did not wire the inner if.then to an outer for.done")
+	}
+}
+
+func TestSwitchAndPanicTerminate(t *testing.T) {
+	fn := buildFromSrc(t, `
+func f(x int) int {
+	switch x {
+	case 1:
+		return 10
+	case 2:
+		panic("no")
+	default:
+		x++
+	}
+	return x
+}`)
+	blocks := reachable(fn)
+	if blocks["switch.done"] == nil {
+		t.Fatal("switch.done expected")
+	}
+	// Three cases reachable from the head.
+	cases := 0
+	for _, b := range fn.Blocks {
+		if b.Comment == "switch.case" && len(b.Preds) > 0 {
+			cases++
+		}
+	}
+	if cases != 3 {
+		t.Fatalf("reachable switch cases = %d, want 3", cases)
+	}
+	// Both the return case and the panic case edge straight to exit, plus
+	// the final return: exit has >= 3 preds.
+	if len(fn.Exit.Preds) < 3 {
+		t.Fatalf("exit preds = %d, want >= 3", len(fn.Exit.Preds))
+	}
+}
+
+func TestGotoResolves(t *testing.T) {
+	fn := buildFromSrc(t, `
+func f(n int) int {
+	i := 0
+loop:
+	i++
+	if i < n {
+		goto loop
+	}
+	return i
+}`)
+	blocks := reachable(fn)
+	target := blocks["label.loop"]
+	if target == nil {
+		t.Fatal("label.loop block expected")
+	}
+	back := false
+	for _, e := range target.Preds {
+		if strings.HasPrefix(e.From.Comment, "if.then") {
+			back = true
+		}
+	}
+	if !back {
+		t.Fatal("goto loop did not create a back edge from if.then")
+	}
+}
+
+// --- dataflow engine tests on hand-built CFGs ---
+
+// handDiamond builds entry → {left,right} → merge → exit.
+func handDiamond() (*Func, *Block, *Block, *Block) {
+	fn := &Func{Name: "hand"}
+	entry := fn.NewBlock("entry")
+	left := fn.NewBlock("left")
+	right := fn.NewBlock("right")
+	merge := fn.NewBlock("merge")
+	exit := fn.NewBlock("exit")
+	fn.Entry, fn.Exit = entry, exit
+	fn.Connect(entry, left, CondTrue, nil)
+	fn.Connect(entry, right, CondFalse, nil)
+	fn.Connect(left, merge, Fallthrough, nil)
+	fn.Connect(right, merge, Fallthrough, nil)
+	fn.Connect(merge, exit, Fallthrough, nil)
+	return fn, left, right, merge
+}
+
+// TestJoinOnDiamond runs a may-analysis over string sets: each branch gens
+// one symbol; the merge must see the union.
+func TestJoinOnDiamond(t *testing.T) {
+	fn, left, right, merge := handDiamond()
+	gen := map[*Block]string{left: "L", right: "R"}
+	a := &Analysis[map[string]bool]{
+		Dir:    Forward,
+		Bottom: func() map[string]bool { return nil },
+		Entry:  func() map[string]bool { return map[string]bool{} },
+		Join: func(x, y map[string]bool) map[string]bool {
+			if x == nil {
+				return y
+			}
+			if y == nil {
+				return x
+			}
+			u := map[string]bool{}
+			for k := range x {
+				u[k] = true
+			}
+			for k := range y {
+				u[k] = true
+			}
+			return u
+		},
+		Equal: func(x, y map[string]bool) bool {
+			if (x == nil) != (y == nil) || len(x) != len(y) {
+				return false
+			}
+			for k := range x {
+				if !y[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *Block, in map[string]bool) map[string]bool {
+			g, ok := gen[b]
+			if !ok {
+				return in
+			}
+			out := map[string]bool{g: true}
+			for k := range in {
+				out[k] = true
+			}
+			return out
+		},
+	}
+	res := a.Solve(fn)
+	got := res.In[merge.Index]
+	if !got["L"] || !got["R"] || len(got) != 2 {
+		t.Fatalf("merge in-fact = %v, want {L,R}", got)
+	}
+	if fact := res.In[fn.Exit.Index]; !fact["L"] || !fact["R"] {
+		t.Fatalf("exit in-fact = %v, want {L,R}", fact)
+	}
+}
+
+// handLoop builds entry → head → body → head (back edge), head → exit.
+func handLoop() (*Func, *Block, *Block) {
+	fn := &Func{Name: "loop"}
+	entry := fn.NewBlock("entry")
+	head := fn.NewBlock("head")
+	body := fn.NewBlock("body")
+	exit := fn.NewBlock("exit")
+	fn.Entry, fn.Exit = entry, exit
+	fn.Connect(entry, head, Fallthrough, nil)
+	fn.Connect(head, body, CondTrue, nil)
+	fn.Connect(head, exit, CondFalse, nil)
+	fn.Connect(body, head, Fallthrough, nil)
+	return fn, head, body
+}
+
+// TestWideningConverges runs an integer-counter analysis (infinite-height
+// lattice: body increments the fact) that only terminates because Widen
+// jumps to a top sentinel.
+func TestWideningConverges(t *testing.T) {
+	fn, head, body := handLoop()
+	const top = 1 << 30
+	a := &Analysis[int]{
+		Dir:    Forward,
+		Bottom: func() int { return -1 }, // unreached
+		Entry:  func() int { return 0 },
+		Join: func(x, y int) int {
+			if x > y {
+				return x
+			}
+			return y
+		},
+		Equal: func(x, y int) bool { return x == y },
+		Transfer: func(b *Block, in int) int {
+			if in < 0 {
+				return in
+			}
+			if b == body {
+				return in + 1 // diverges without widening
+			}
+			return in
+		},
+		Widen: func(old, next int) int {
+			if next > old {
+				return top
+			}
+			return next
+		},
+		WidenAfter: 2,
+	}
+	done := make(chan *Result[int], 1)
+	go func() { done <- a.Solve(fn) }()
+	res := <-done
+	if res.In[head.Index] != top {
+		t.Fatalf("head in-fact = %d, want widened top %d", res.In[head.Index], top)
+	}
+	if res.In[fn.Exit.Index] != top {
+		t.Fatalf("exit in-fact = %d, want %d", res.In[fn.Exit.Index], top)
+	}
+}
+
+// TestBackwardAnalysis checks a liveness-style backward problem: a fact
+// genned at exit must reach entry against edge direction.
+func TestBackwardAnalysis(t *testing.T) {
+	fn, head, _ := handLoop()
+	a := &Analysis[bool]{
+		Dir:      Backward,
+		Bottom:   func() bool { return false },
+		Entry:    func() bool { return true },
+		Join:     func(x, y bool) bool { return x || y },
+		Equal:    func(x, y bool) bool { return x == y },
+		Transfer: func(b *Block, in bool) bool { return in },
+	}
+	res := a.Solve(fn)
+	if !res.In[head.Index] || !res.In[fn.Entry.Index] {
+		t.Fatalf("backward fact did not reach head/entry: head=%v entry=%v",
+			res.In[head.Index], res.In[fn.Entry.Index])
+	}
+}
+
+// TestTransferEdgeRefinement checks per-edge refinement: the true edge maps
+// the fact to 1, the false edge to 2.
+func TestTransferEdgeRefinement(t *testing.T) {
+	fn, left, right, _ := handDiamond()
+	a := &Analysis[int]{
+		Dir:      Forward,
+		Bottom:   func() int { return 0 },
+		Entry:    func() int { return 9 },
+		Join:     func(x, y int) int { return max(x, y) },
+		Equal:    func(x, y int) bool { return x == y },
+		Transfer: func(b *Block, in int) int { return in },
+		TransferEdge: func(e *Edge, out int) int {
+			switch e.Kind {
+			case CondTrue:
+				return 1
+			case CondFalse:
+				return 2
+			}
+			return out
+		},
+	}
+	res := a.Solve(fn)
+	if res.In[left.Index] != 1 {
+		t.Fatalf("left in-fact = %d, want 1 (CondTrue refinement)", res.In[left.Index])
+	}
+	if res.In[right.Index] != 2 {
+		t.Fatalf("right in-fact = %d, want 2 (CondFalse refinement)", res.In[right.Index])
+	}
+}
+
+func TestDeferGoAreStraightLine(t *testing.T) {
+	fn := buildFromSrc(t, `
+func f() {
+	defer g()
+	go g()
+	g()
+}
+func g() {}`)
+	// Everything lands in entry; one edge to exit.
+	if len(fn.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3", len(fn.Entry.Nodes))
+	}
+	if len(fn.Entry.Succs) != 1 || fn.Entry.Succs[0].To != fn.Exit {
+		t.Fatal("entry should fall through to exit")
+	}
+}

@@ -1,0 +1,37 @@
+package clfix
+
+import "sync"
+
+// runBarriered is the compute-pool shape: Add before spawn, deferred Done
+// first in the closure, Wait on every path out.
+func (p *pool) runBarriered() {
+	var wg sync.WaitGroup
+	for _, t := range p.tasks {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(t)
+	}
+	wg.Wait()
+}
+
+// runBranchy waits on both sides of a branch: no path escapes.
+func (p *pool) runBranchy(verbose bool) int {
+	var wg sync.WaitGroup
+	count := 0
+	for _, t := range p.tasks {
+		wg.Add(1)
+		count++
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(t)
+	}
+	if verbose {
+		wg.Wait()
+		return count
+	}
+	wg.Wait()
+	return 0
+}

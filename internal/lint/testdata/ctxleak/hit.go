@@ -1,0 +1,34 @@
+package clfix
+
+import "sync"
+
+type pool struct {
+	tasks []func()
+}
+
+// runDetached spawns workers that signal no WaitGroup at all: nothing can
+// ever join them.
+func (p *pool) runDetached() {
+	for _, t := range p.tasks {
+		go func(fn func()) {
+			fn()
+		}(t)
+	}
+}
+
+// runLeaky signals completion but has a return path that skips the
+// barrier: with fastpath set, the function returns while workers run.
+func (p *pool) runLeaky(fastpath bool) {
+	var wg sync.WaitGroup
+	for _, t := range p.tasks {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(t)
+	}
+	if fastpath {
+		return
+	}
+	wg.Wait()
+}

@@ -1,0 +1,10 @@
+package clfix
+
+// fireAndForget runs a task on a deliberately detached goroutine (the
+// fixture pretends it is a best-effort telemetry flush); documented.
+func fireAndForget(task func()) {
+	//lint:ignore ctxleak fixture: detached telemetry flush by design
+	go func() {
+		task()
+	}()
+}

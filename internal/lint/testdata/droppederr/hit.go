@@ -18,3 +18,27 @@ func Chain(s string) {
 func parse(s string) (int, error) {
 	return strconv.Atoi(s)
 }
+
+// Spill closes a writable spill file at defer time, once implicitly and
+// once behind a blank assignment; either way a short write surfaces only
+// in the Close error, which vanishes here.
+func Spill(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// SpillBlank hides the same discard inside a deferred closure.
+func SpillBlank(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	_, err = f.Write(data)
+	return err
+}

@@ -8,3 +8,16 @@ func BestEffort(path string) {
 	//lint:ignore droppederr best-effort scratch cleanup
 	os.Remove(path)
 }
+
+// ScratchSpill writes a scratch file nothing ever reads back; losing its
+// tail on Close is harmless, so the defer-time discard is documented.
+func ScratchSpill(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	//lint:ignore droppederr scratch file, content never re-read
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}

@@ -1,0 +1,48 @@
+package lofix
+
+import "sync"
+
+var queueMu sync.Mutex
+var runMu sync.Mutex
+
+// enqueue releases queueMu before taking runMu: flow-sensitively there is
+// no queue→run edge, so schedule's run→queue order is not an inversion. A
+// flow-insensitive analysis would report a false cycle here.
+func enqueue() {
+	queueMu.Lock()
+	queueMu.Unlock()
+	runMu.Lock()
+	runMu.Unlock()
+}
+
+func schedule() {
+	runMu.Lock()
+	defer runMu.Unlock()
+	queueMu.Lock()
+	queueMu.Unlock()
+}
+
+// Consistent nesting is fine even across calls.
+
+type cache struct {
+	mu   sync.Mutex
+	hits int
+}
+
+type store struct {
+	mu    sync.Mutex
+	bytes int
+}
+
+func (c *cache) fill(s *store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.put(1)
+	c.hits++
+}
+
+func (s *store) put(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bytes += n
+}

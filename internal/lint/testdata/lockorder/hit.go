@@ -1,0 +1,63 @@
+package lofix
+
+import "sync"
+
+// Two package-level locks acquired in opposite orders by two entry points.
+var poolMu sync.Mutex
+var statsMu sync.Mutex
+
+// drainPool acquires pool → stats.
+func drainPool() {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	statsMu.Lock()
+	statsMu.Unlock()
+}
+
+// flushStats acquires stats → pool: the inversion.
+func flushStats() {
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	poolMu.Lock()
+	poolMu.Unlock()
+}
+
+// The same inversion through calls: each side holds its own struct lock
+// while calling a method that takes the other's.
+
+type engine struct {
+	mu   sync.Mutex
+	busy bool
+}
+
+type ledger struct {
+	mu      sync.Mutex
+	entries int
+}
+
+// run holds engine.mu across a call that acquires ledger.mu.
+func (e *engine) run(l *ledger) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.busy = true
+	l.credit()
+}
+
+func (l *ledger) credit() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries++
+}
+
+// audit holds ledger.mu across a call that acquires engine.mu.
+func (l *ledger) audit(e *engine) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.halt()
+}
+
+func (e *engine) halt() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.busy = false
+}

@@ -1,0 +1,25 @@
+package lofix
+
+import "sync"
+
+var cfgMu sync.Mutex
+var auditMu sync.Mutex
+
+// reconfigure and snapshotConfig invert cfg/audit order on purpose (the
+// fixture pretends an external invariant makes the deadlock unreachable);
+// both acquisition sites carry a documented suppression.
+func reconfigure() {
+	cfgMu.Lock()
+	defer cfgMu.Unlock()
+	//lint:ignore lockorder fixture: inversion unreachable by construction
+	auditMu.Lock()
+	auditMu.Unlock()
+}
+
+func snapshotConfig() {
+	auditMu.Lock()
+	defer auditMu.Unlock()
+	//lint:ignore lockorder fixture: inversion unreachable by construction
+	cfgMu.Lock()
+	cfgMu.Unlock()
+}

@@ -1,0 +1,56 @@
+package nffix
+
+import (
+	"fmt"
+	"os"
+)
+
+// earlyReturn is the canonical shape: the value is only touched after the
+// error path has returned.
+func earlyReturn(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("open %s: %w", path, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// passBack returns the pair verbatim from the error branch — idiomatic,
+// the caller re-checks.
+func passBack(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// checkedCleanup nil-checks the handle before touching it on the error
+// path: the explicit validity check dissolves the pairing.
+func checkedCleanup(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		if f != nil {
+			f.Close()
+		}
+		return
+	}
+	f.Close()
+}
+
+// merged joins a checked and an unchecked path; the must-analysis decays
+// to unknown at the merge and stays silent.
+func merged(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open failed:", err)
+	}
+	if f != nil {
+		f.Close()
+	}
+}

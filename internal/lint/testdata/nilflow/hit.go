@@ -1,0 +1,40 @@
+package nffix
+
+import "os"
+
+// readHeader reads from the file handle on the path where Open failed —
+// f carries no guarantee there.
+func readHeader(path string) []byte {
+	f, err := os.Open(path)
+	if err != nil {
+		buf := make([]byte, 4)
+		f.Read(buf)
+		return buf
+	}
+	defer f.Close()
+	return nil
+}
+
+// describe touches the FileInfo inside the error branch.
+func describe(path string) string {
+	info, err := os.Stat(path)
+	if err != nil {
+		return "missing: " + info.Name()
+	}
+	return info.Name()
+}
+
+// lateUse checks the error, takes the non-nil side, and keeps going: every
+// statement in that branch sees a poisoned handle.
+func lateUse(path string) int64 {
+	f, err := os.Open(path)
+	if err == nil {
+		defer f.Close()
+		st, _ := f.Stat()
+		_ = st
+		return 0
+	}
+	fi, _ := f.Stat()
+	_ = fi
+	return -1
+}

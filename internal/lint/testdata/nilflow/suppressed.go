@@ -1,0 +1,15 @@
+package nffix
+
+import "os"
+
+// probe deliberately inspects the handle on the failure path (the fixture
+// pretends the platform returns partially-valid handles); documented.
+func probe(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		//lint:ignore nilflow fixture: probing the failed handle is deliberate
+		f.Close()
+		return
+	}
+	f.Close()
+}

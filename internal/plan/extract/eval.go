@@ -1,0 +1,356 @@
+package extract
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"reflect"
+)
+
+// evalMulti evaluates an expression that may produce several values (a
+// call in a tuple assignment); everything else yields exactly one.
+func (in *interp) evalMulti(e ast.Expr, env *scope) []val {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		return in.evalCall(call, env)
+	}
+	return []val{in.evalExpr(e, env)}
+}
+
+func (in *interp) evalExpr(e ast.Expr, env *scope) val {
+	e = ast.Unparen(e)
+	// Compile-time constants (literals, named constants, constant folding)
+	// come straight from the type checker.
+	if tv, ok := in.info.Types[e]; ok && tv.Value != nil {
+		return in.constVal(tv)
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if x.Name == "nil" {
+			return knownNil()
+		}
+		if c, ok := in.info.Uses[x].(*types.Const); ok {
+			return in.constVal(types.TypeAndValue{Type: c.Type(), Value: c.Val()})
+		}
+		if v, ok := env.lookup(x.Name); ok {
+			return v
+		}
+		return unknown() // package-level variable: data the plan ignores
+	case *ast.SelectorExpr:
+		return in.evalSelector(x, env)
+	case *ast.CallExpr:
+		res := in.evalCall(x, env)
+		if len(res) == 0 {
+			return unknown()
+		}
+		return res[0]
+	case *ast.BinaryExpr:
+		lhs := in.evalExpr(x.X, env)
+		rhs := in.evalExpr(x.Y, env)
+		return in.binop(x.Pos(), x.Op, lhs, rhs, in.info.TypeOf(x))
+	case *ast.UnaryExpr:
+		return in.unop(x, env)
+	case *ast.IndexExpr:
+		coll := in.evalExpr(x.X, env)
+		idx := in.evalExpr(x.Index, env)
+		if coll.known && !coll.isNil && idx.known && !idx.isNil &&
+			(coll.rv.Kind() == reflect.Slice || coll.rv.Kind() == reflect.Array) &&
+			isIntKind(idx.rv.Kind()) {
+			i := int(idx.rv.Int())
+			if i >= 0 && i < coll.rv.Len() {
+				return knownRV(coll.rv.Index(i))
+			}
+		}
+		return unknown()
+	case *ast.FuncLit:
+		return val{lit: x}
+	case *ast.CompositeLit, *ast.TypeAssertExpr, *ast.SliceExpr, *ast.StarExpr:
+		return unknown()
+	}
+	return unknown()
+}
+
+// constVal converts a type checker constant into a known value of the
+// corresponding Go type.
+func (in *interp) constVal(tv types.TypeAndValue) val {
+	rt := basicReflectType(tv.Type)
+	if rt == nil {
+		return unknown()
+	}
+	out := reflect.New(rt).Elem()
+	switch rt.Kind() {
+	case reflect.Bool:
+		out.SetBool(constant.BoolVal(tv.Value))
+	case reflect.String:
+		out.SetString(constant.StringVal(tv.Value))
+	case reflect.Float64:
+		f, _ := constant.Float64Val(tv.Value)
+		out.SetFloat(f)
+	default:
+		i, ok := constant.Int64Val(constant.ToInt(tv.Value))
+		if !ok {
+			return unknown()
+		}
+		out.SetInt(i)
+	}
+	return knownRV(out)
+}
+
+// basicReflectType maps a basic (or basic-underlying) type to its reflect
+// counterpart; nil for anything the evaluator does not model.
+func basicReflectType(t types.Type) reflect.Type {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	switch b.Kind() {
+	case types.Bool, types.UntypedBool:
+		return reflect.TypeOf(false)
+	case types.Int, types.UntypedInt:
+		return reflect.TypeOf(int(0))
+	case types.Int8:
+		return reflect.TypeOf(int8(0))
+	case types.Int16:
+		return reflect.TypeOf(int16(0))
+	case types.Int32, types.UntypedRune:
+		return reflect.TypeOf(int32(0))
+	case types.Int64:
+		return reflect.TypeOf(int64(0))
+	case types.Float64, types.UntypedFloat:
+		return reflect.TypeOf(float64(0))
+	case types.String, types.UntypedString:
+		return reflect.TypeOf("")
+	}
+	return nil
+}
+
+func isIntKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return true
+	}
+	return false
+}
+
+func isFloatKind(k reflect.Kind) bool {
+	return k == reflect.Float32 || k == reflect.Float64
+}
+
+// evalSelector resolves field reads (receiver fields via reflection on the
+// live workload value, exported context fields) and leaves everything else
+// unknown.
+func (in *interp) evalSelector(sel *ast.SelectorExpr, env *scope) val {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := in.info.Uses[id].(*types.PkgName); isPkg {
+			return unknown() // package-level name; constants were caught above
+		}
+	}
+	x := in.evalExpr(sel.X, env)
+	if !x.known || x.isNil {
+		return unknown()
+	}
+	rv := x.rv
+	for rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return unknown()
+		}
+		rv = rv.Elem()
+	}
+	if rv.Kind() != reflect.Struct {
+		return unknown()
+	}
+	f := rv.FieldByName(sel.Sel.Name)
+	if !f.IsValid() || !f.CanInterface() {
+		return unknown()
+	}
+	return knownRV(f)
+}
+
+func (in *interp) unop(x *ast.UnaryExpr, env *scope) val {
+	v := in.evalExpr(x.X, env)
+	if !v.known || v.isNil {
+		return unknown()
+	}
+	switch x.Op {
+	case token.SUB:
+		out := reflect.New(v.rv.Type()).Elem()
+		switch {
+		case isIntKind(v.rv.Kind()):
+			out.SetInt(-v.rv.Int())
+		case isFloatKind(v.rv.Kind()):
+			out.SetFloat(-v.rv.Float())
+		default:
+			return unknown()
+		}
+		return knownRV(out)
+	case token.NOT:
+		if v.rv.Kind() == reflect.Bool {
+			return known(!v.rv.Bool())
+		}
+	case token.ADD:
+		return v
+	}
+	return unknown()
+}
+
+// binop evaluates a binary operation when both sides are statically known.
+// t is the static type of the whole expression (drives the result kind for
+// mixed-width integer arithmetic).
+func (in *interp) binop(pos token.Pos, op token.Token, x, y val, t types.Type) val {
+	// nil comparisons: the evaluator models action errors as known-nil, so
+	// `err != nil` guards resolve and the success path is followed.
+	if op == token.EQL || op == token.NEQ {
+		if x.isNil || y.isNil {
+			return in.nilCompare(op, x, y)
+		}
+	}
+	if !x.known || !y.known || x.isNil || y.isNil {
+		return unknown()
+	}
+	xv, yv := x.rv, y.rv
+	switch {
+	case xv.Kind() == reflect.Bool && yv.Kind() == reflect.Bool:
+		a, b := xv.Bool(), yv.Bool()
+		switch op {
+		case token.LAND:
+			return known(a && b)
+		case token.LOR:
+			return known(a || b)
+		case token.EQL:
+			return known(a == b)
+		case token.NEQ:
+			return known(a != b)
+		}
+	case xv.Kind() == reflect.String && yv.Kind() == reflect.String:
+		a, b := xv.String(), yv.String()
+		switch op {
+		case token.ADD:
+			return known(a + b)
+		case token.EQL:
+			return known(a == b)
+		case token.NEQ:
+			return known(a != b)
+		case token.LSS:
+			return known(a < b)
+		case token.GTR:
+			return known(a > b)
+		}
+	case isFloatKind(xv.Kind()) || isFloatKind(yv.Kind()):
+		a, b := toFloat(xv), toFloat(yv)
+		switch op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return known(floatCompare(op, a, b))
+		case token.QUO:
+			if b == 0 {
+				in.bail(pos, "statically known division by zero")
+			}
+			return in.numResult(a/b, t)
+		case token.ADD:
+			return in.numResult(a+b, t)
+		case token.SUB:
+			return in.numResult(a-b, t)
+		case token.MUL:
+			return in.numResult(a*b, t)
+		}
+	case isIntKind(xv.Kind()) && isIntKind(yv.Kind()):
+		a, b := xv.Int(), yv.Int()
+		switch op {
+		case token.EQL:
+			return known(a == b)
+		case token.NEQ:
+			return known(a != b)
+		case token.LSS:
+			return known(a < b)
+		case token.LEQ:
+			return known(a <= b)
+		case token.GTR:
+			return known(a > b)
+		case token.GEQ:
+			return known(a >= b)
+		case token.QUO, token.REM:
+			if b == 0 {
+				in.bail(pos, "statically known division by zero")
+			}
+			if op == token.QUO {
+				return in.intResult(a/b, t)
+			}
+			return in.intResult(a%b, t)
+		case token.ADD:
+			return in.intResult(a+b, t)
+		case token.SUB:
+			return in.intResult(a-b, t)
+		case token.MUL:
+			return in.intResult(a*b, t)
+		}
+	}
+	return unknown()
+}
+
+func toFloat(v reflect.Value) float64 {
+	if isIntKind(v.Kind()) {
+		return float64(v.Int())
+	}
+	return v.Float()
+}
+
+func floatCompare(op token.Token, a, b float64) bool {
+	switch op {
+	case token.EQL:
+		return a == b
+	case token.NEQ:
+		return a != b
+	case token.LSS:
+		return a < b
+	case token.LEQ:
+		return a <= b
+	case token.GTR:
+		return a > b
+	}
+	return a >= b
+}
+
+// intResult wraps an integer result in the expression's static type.
+func (in *interp) intResult(v int64, t types.Type) val {
+	rt := basicReflectType(t)
+	if rt == nil || !isIntKind(rt.Kind()) {
+		return known(v)
+	}
+	out := reflect.New(rt).Elem()
+	out.SetInt(v)
+	return knownRV(out)
+}
+
+func (in *interp) numResult(v float64, t types.Type) val {
+	rt := basicReflectType(t)
+	if rt != nil && isIntKind(rt.Kind()) {
+		return in.intResult(int64(v), t)
+	}
+	return known(v)
+}
+
+// nilCompare resolves ==/!= when at least one side is a known nil.
+func (in *interp) nilCompare(op token.Token, x, y val) val {
+	eq := func(equal bool) val {
+		if op == token.NEQ {
+			return known(!equal)
+		}
+		return known(equal)
+	}
+	switch {
+	case x.isNil && y.isNil:
+		return eq(true)
+	case x.isNil && y.known:
+		return eq(nilableIsNil(y.rv))
+	case y.isNil && x.known:
+		return eq(nilableIsNil(x.rv))
+	}
+	return unknown()
+}
+
+func nilableIsNil(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Interface, reflect.Slice, reflect.Map, reflect.Chan, reflect.Func:
+		return v.IsNil()
+	}
+	return false
+}

@@ -59,6 +59,26 @@ func ByName(name string) (Workload, error) {
 	return nil, fmt.Errorf("workloads: unknown workload %q", name)
 }
 
+// Shrink scales a workload's physical dataset down by factor so sweeps
+// stay fast; logical input sizes and the cost model are unchanged, so the
+// plans exercised are the real ones. A factor <= 1 is a no-op.
+func Shrink(w Workload, factor int) {
+	if factor <= 1 {
+		return
+	}
+	switch w := w.(type) {
+	case *KMeans:
+		w.Rows /= factor
+	case *PCA:
+		w.Rows /= factor
+	case *SQL:
+		w.Orders /= factor
+		w.Customers /= factor
+	case *PageRank:
+		w.Pages /= factor
+	}
+}
+
 // det01 maps (seed, i) to a deterministic pseudo-uniform float in [0, 1).
 func det01(seed, i int64) float64 {
 	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9
