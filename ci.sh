@@ -56,6 +56,20 @@ go test -shuffle=on ./...
 echo "== race =="
 go test -race ./internal/...
 
+echo "== race (parallel sweep) =="
+# The driver pool's contract — parallel sweeps byte-identical to sequential
+# — is asserted by TestParallelMatchesSequential; run it explicitly under
+# the race detector so pool regressions fail loudly even if the package
+# sweep above is ever narrowed.
+go test -race -run 'TestParallelMatchesSequential' -count=1 ./internal/experiments
+
+echo "== chopperbench (regression gate) =="
+# Benchmark-regression harness: re-measures the shuffle/combine kernels and
+# the quick sweep, then gates allocs/op (exact, machine-independent) and the
+# parallel-sweep speedup (floor scaled to GOMAXPROCS) against the committed
+# baseline. Re-baseline with:  go run ./cmd/chopperbench -out BENCH_4.json
+go run ./cmd/chopperbench -short -compare BENCH_4.json -tolerance 10%
+
 echo "== fuzz (5s) =="
 go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/exec
 go test -run='^$' -fuzz=FuzzPlanInvariants -fuzztime=5s ./internal/plan/verify

@@ -1,0 +1,432 @@
+// Command chopperbench is the benchmark-regression harness: it measures the
+// hot-path kernels (shuffle partitioning, reduce-side merge, byte sizing)
+// and the end-to-end experiment sweep at two driver widths, then optionally
+// gates the numbers against a committed baseline (BENCH_4.json).
+//
+// Usage:
+//
+//	chopperbench [-runs N] [-short] [-parallel N] [-out file]
+//	             [-compare BENCH_4.json] [-tolerance 10%] [-strict-time]
+//	             [-cpuprofile out.pprof] [-memprofile out.pprof]
+//
+// Without -compare it measures and (with -out) writes a fresh baseline.
+// With -compare it measures and fails (exit 1) when:
+//
+//   - a kernel's allocs/op regresses beyond the tolerance vs the baseline
+//     (allocation counts are machine-independent, so this gate is exact);
+//   - a kernel's allocs/op no longer holds the >=30% reduction vs the
+//     recorded pre-optimization seed numbers;
+//   - ns/op regresses beyond tolerance, only under -strict-time (wall times
+//     are machine-dependent, so this gate is opt-in);
+//   - the end-to-end sweep speedup at -parallel workers vs sequential falls
+//     below the floor for this machine's GOMAXPROCS: >= 2.0 with 4+ procs,
+//     >= 1.3 with 2-3, not gated on a single-proc machine (run-level
+//     parallelism cannot buy wall time there; the kernel gates still apply).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"chopper/internal/experiments"
+	"chopper/internal/experiments/driver"
+	"chopper/internal/profiling"
+	"chopper/internal/rdd"
+)
+
+// KernelResult is one measured benchmark row.
+type KernelResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// EndToEnd is the wall-clock measurement of the quick experiment sweep at
+// one and at ParallelWidth driver workers.
+type EndToEnd struct {
+	SequentialSec float64 `json:"sequential_sec"`
+	ParallelSec   float64 `json:"parallel_sec"`
+	ParallelWidth int     `json:"parallel_width"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// Report is the chopperbench output schema (BENCH_4.json).
+type Report struct {
+	Schema      int            `json:"schema"`
+	GoMaxProcs  int            `json:"go_maxprocs"`
+	Short       bool           `json:"short"`
+	Kernels     []KernelResult `json:"kernels"`
+	SeedKernels []KernelResult `json:"seed_kernels"`
+	EndToEnd    EndToEnd       `json:"end_to_end"`
+	PeakRSS     int64          `json:"peak_rss_bytes"`
+}
+
+// seedKernels are the kernel numbers measured at the pre-optimization seed
+// commit on the reference machine (go test -bench, internal/rdd). They are
+// the "before" column of the baseline and back the >=30%-alloc-reduction
+// gate; allocation counts are machine-independent.
+var seedKernels = []KernelResult{
+	{Name: "PartitionPairsIntCombine", NsPerOp: 775417, AllocsPerOp: 8474, BytesPerOp: 175512},
+	{Name: "PartitionPairsStringCombine", NsPerOp: 853107, AllocsPerOp: 8485, BytesPerOp: 174960},
+	{Name: "PartitionPairsNoCombine", NsPerOp: 495464, AllocsPerOp: 525, BytesPerOp: 754816},
+	{Name: "MergeReduceBlocksIntCombine", NsPerOp: 629404, AllocsPerOp: 8221, BytesPerOp: 184176},
+	{Name: "MergeReduceBlocksStringCombine", NsPerOp: 669095, AllocsPerOp: 8221, BytesPerOp: 184176},
+	{Name: "MergeReduceBlocksNoAgg", NsPerOp: 5545568, AllocsPerOp: 8212, BytesPerOp: 747976},
+	{Name: "LogicalPairsBytes", NsPerOp: 413111, AllocsPerOp: 8192, BytesPerOp: 262144},
+}
+
+// seedGated lists the kernels whose allocs/op must stay >=30% below the
+// seed numbers (the shuffle/combine data path).
+var seedGated = map[string]bool{
+	"PartitionPairsIntCombine":       true,
+	"PartitionPairsStringCombine":    true,
+	"MergeReduceBlocksIntCombine":    true,
+	"MergeReduceBlocksStringCombine": true,
+	"LogicalPairsBytes":              true,
+}
+
+type kernel struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// benchIntPairs / benchStringPairs / benchBlocks mirror the shapes of the
+// internal/rdd package benchmarks so the harness gates the same code paths.
+func benchIntPairs(n, keys int) []rdd.Row {
+	rows := make([]rdd.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = rdd.Pair{K: i % keys, V: float64(i)}
+	}
+	return rows
+}
+
+func benchStringPairs(n, keys int) []rdd.Row {
+	ks := make([]string, keys)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("key-%04d", i)
+	}
+	rows := make([]rdd.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = rdd.Pair{K: ks[i%keys], V: float64(i)}
+	}
+	return rows
+}
+
+func benchBlocks(rows []rdd.Row, maps int, agg *rdd.Aggregator) [][]rdd.Pair {
+	p := rdd.NewHashPartitioner(1)
+	blocks := make([][]rdd.Pair, maps)
+	for m := 0; m < maps; m++ {
+		lo, hi := m*len(rows)/maps, (m+1)*len(rows)/maps
+		bk, err := rdd.PartitionPairs(rows[lo:hi], p, agg)
+		if err != nil {
+			panic(err)
+		}
+		blocks[m] = bk[0]
+	}
+	return blocks
+}
+
+func kernels() []kernel {
+	partition := func(rows []rdd.Row, agg *rdd.Aggregator) func(b *testing.B) {
+		p := rdd.NewHashPartitioner(64)
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rdd.PartitionPairs(rows, p, agg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	merge := func(blocks [][]rdd.Pair, agg *rdd.Aggregator) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rdd.MergeReduceBlocks(blocks, agg)
+			}
+		}
+	}
+	intRows := benchIntPairs(8192, 512)
+	strRows := benchStringPairs(8192, 512)
+	sizedBk, err := rdd.PartitionPairs(intRows, rdd.NewHashPartitioner(1), nil)
+	if err != nil {
+		panic(err)
+	}
+	return []kernel{
+		{"PartitionPairsIntCombine", partition(intRows, rdd.SumAggregator())},
+		{"PartitionPairsStringCombine", partition(strRows, rdd.SumAggregator())},
+		{"PartitionPairsNoCombine", partition(intRows, nil)},
+		{"MergeReduceBlocksIntCombine", merge(benchBlocks(intRows, 16, rdd.SumAggregator()), rdd.SumAggregator())},
+		{"MergeReduceBlocksStringCombine", merge(benchBlocks(strRows, 16, rdd.SumAggregator()), rdd.SumAggregator())},
+		{"MergeReduceBlocksNoAgg", merge(benchBlocks(intRows, 16, nil), nil)},
+		{"LogicalPairsBytes", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rdd.LogicalPairsBytes(sizedBk[0], 1000.0)
+			}
+		}},
+	}
+}
+
+// measureKernels runs every kernel `runs` times and keeps the best ns/op
+// (allocation counts are stable across repetitions).
+func measureKernels(runs int) []KernelResult {
+	var out []KernelResult
+	for _, k := range kernels() {
+		best := KernelResult{Name: k.name}
+		for r := 0; r < runs; r++ {
+			res := testing.Benchmark(k.fn)
+			cur := KernelResult{
+				Name:        k.name,
+				NsPerOp:     float64(res.NsPerOp()),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			}
+			if r == 0 || cur.NsPerOp < best.NsPerOp {
+				best = cur
+			}
+		}
+		fmt.Printf("  %-32s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			best.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp)
+		out = append(out, best)
+	}
+	return out
+}
+
+// sweep runs the quick experiment suite once at the given driver width and
+// returns its wall time. The full (non-short) sweep adds a train-and-compare
+// pipeline on top of the motivation grid.
+func sweep(parallel int, short bool) (float64, error) {
+	driver.SetParallelism(parallel)
+	defer driver.SetParallelism(0)
+	start := time.Now()
+	if _, err := experiments.RunMotivation(true, nil); err != nil {
+		return 0, err
+	}
+	if !short {
+		if _, err := experiments.RunEvaluation(true); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func measureEndToEnd(parallel int, short bool) (EndToEnd, error) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	seq, err := sweep(1, short)
+	if err != nil {
+		return EndToEnd{}, err
+	}
+	par, err := sweep(parallel, short)
+	if err != nil {
+		return EndToEnd{}, err
+	}
+	e := EndToEnd{SequentialSec: seq, ParallelSec: par, ParallelWidth: parallel}
+	if par > 0 {
+		e.Speedup = seq / par
+	}
+	fmt.Printf("  end-to-end sweep: sequential %.2fs, parallel(%d) %.2fs, speedup %.2fx\n",
+		seq, parallel, par, e.Speedup)
+	return e, nil
+}
+
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	// Maxrss is KiB on Linux.
+	return ru.Maxrss << 10
+}
+
+// parseTolerance accepts "10%" or "0.10".
+func parseTolerance(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if t, ok := strings.CutSuffix(s, "%"); ok {
+		v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+		if err != nil {
+			return 0, fmt.Errorf("chopperbench: bad tolerance %q", s)
+		}
+		return v / 100, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("chopperbench: bad tolerance %q", s)
+	}
+	return v, nil
+}
+
+// speedupFloor returns the required end-to-end speedup for a machine with
+// procs schedulable CPUs, and whether the gate applies at all.
+func speedupFloor(procs int) (float64, bool) {
+	switch {
+	case procs >= 4:
+		return 2.0, true
+	case procs >= 2:
+		return 1.3, true
+	default:
+		return 0, false
+	}
+}
+
+// compareReports gates cur against base; returns human-readable violations.
+func compareReports(cur, base Report, tol float64, strictTime bool) []string {
+	var violations []string
+	curBy := map[string]KernelResult{}
+	for _, k := range cur.Kernels {
+		curBy[k.Name] = k
+	}
+	seedBy := map[string]KernelResult{}
+	for _, k := range base.SeedKernels {
+		seedBy[k.Name] = k
+	}
+	for _, b := range base.Kernels {
+		c, ok := curBy[b.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("kernel %s: in baseline but not measured", b.Name))
+			continue
+		}
+		if limit := float64(b.AllocsPerOp)*(1+tol) + 0.5; float64(c.AllocsPerOp) > limit {
+			violations = append(violations, fmt.Sprintf(
+				"kernel %s: allocs/op %d exceeds baseline %d by more than %.0f%%",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp, tol*100))
+		}
+		if strictTime && c.NsPerOp > b.NsPerOp*(1+tol) {
+			violations = append(violations, fmt.Sprintf(
+				"kernel %s: ns/op %.0f exceeds baseline %.0f by more than %.0f%% (-strict-time)",
+				b.Name, c.NsPerOp, b.NsPerOp, tol*100))
+		}
+		if s, ok := seedBy[b.Name]; ok && seedGated[b.Name] {
+			if float64(c.AllocsPerOp) > 0.7*float64(s.AllocsPerOp) {
+				violations = append(violations, fmt.Sprintf(
+					"kernel %s: allocs/op %d no longer >=30%% below the seed's %d",
+					b.Name, c.AllocsPerOp, s.AllocsPerOp))
+			}
+		}
+	}
+	if floor, gated := speedupFloor(cur.GoMaxProcs); gated {
+		if cur.EndToEnd.Speedup < floor {
+			violations = append(violations, fmt.Sprintf(
+				"end-to-end speedup %.2fx below the %.1fx floor for GOMAXPROCS=%d",
+				cur.EndToEnd.Speedup, floor, cur.GoMaxProcs))
+		}
+	} else {
+		fmt.Printf("  speedup gate skipped: GOMAXPROCS=%d leaves no room for run-level parallelism\n", cur.GoMaxProcs)
+	}
+	return violations
+}
+
+func run() error {
+	runs := flag.Int("runs", 3, "benchmark repetitions per kernel (best kept)")
+	short := flag.Bool("short", false, "small sweep and single repetitions (the ci.sh gate)")
+	parallel := flag.Int("parallel", 0, "driver width of the parallel sweep (0 = GOMAXPROCS)")
+	out := flag.String("out", "", "write the measured report as JSON to this file")
+	compareTo := flag.String("compare", "", "baseline JSON to gate against")
+	tolerance := flag.String("tolerance", "10%", "allowed regression (e.g. 10% or 0.10)")
+	strictTime := flag.Bool("strict-time", false, "also gate ns/op (machine-dependent; off by default)")
+	benchtime := flag.String("benchtime", "", "testing benchtime override (e.g. 100x, 0.2s)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	flag.Parse()
+
+	if *short && !flagPassed("runs") {
+		*runs = 1
+	}
+	if *benchtime == "" && *short {
+		*benchtime = "50x"
+	}
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			return err
+		}
+	}
+
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+
+	tol, err := parseTolerance(*tolerance)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("chopperbench: kernels")
+	rep := Report{
+		Schema:      1,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Short:       *short,
+		Kernels:     measureKernels(*runs),
+		SeedKernels: seedKernels,
+	}
+	fmt.Println("chopperbench: end-to-end sweep")
+	if rep.EndToEnd, err = measureEndToEnd(*parallel, *short); err != nil {
+		return err
+	}
+	rep.PeakRSS = peakRSSBytes()
+	fmt.Printf("  peak RSS: %.1f MB\n", float64(rep.PeakRSS)/1e6)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("chopperbench: wrote %s\n", *out)
+	}
+
+	if *compareTo != "" {
+		data, err := os.ReadFile(*compareTo)
+		if err != nil {
+			return err
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("chopperbench: parse %s: %w", *compareTo, err)
+		}
+		if violations := compareReports(rep, base, tol, *strictTime); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "chopperbench: REGRESSION:", v)
+			}
+			return fmt.Errorf("chopperbench: %d regression(s) vs %s", len(violations), *compareTo)
+		}
+		fmt.Printf("chopperbench: no regressions vs %s (tolerance %.0f%%)\n", *compareTo, tol*100)
+	}
+
+	if err := profiling.WriteHeap(*memprofile); err != nil {
+		return err
+	}
+	return nil
+}
+
+func flagPassed(name string) bool {
+	passed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
+}
+
+func main() {
+	testing.Init()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

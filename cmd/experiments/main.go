@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only fig7,fig8,...] [-list]
+//	experiments [-quick] [-only fig7,fig8,...] [-list] [-parallel N]
+//	            [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Experiment ids: tab1, fig2, fig3, fig4, fig6, fig7, fig8, tab2, tab3,
 // fig9, fig10, fig11, fig12, fig13, fig14, ablations.
+//
+// -parallel bounds the driver worker pool running independent sweep points
+// concurrently (0 = GOMAXPROCS); any width produces byte-identical output.
 package main
 
 import (
@@ -16,6 +20,8 @@ import (
 	"strings"
 
 	"chopper/internal/experiments"
+	"chopper/internal/experiments/driver"
+	"chopper/internal/profiling"
 )
 
 var ids = []string{
@@ -27,11 +33,20 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink physical datasets and profiling grids for a fast pass")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Int("parallel", 0, "worker pool width for independent sweep runs (0 = GOMAXPROCS, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(ids, "\n"))
 		return
+	}
+	driver.SetParallelism(*parallel)
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 	want := map[string]bool{}
 	if *only == "" {
@@ -44,8 +59,13 @@ func main() {
 		}
 	}
 
-	if err := run(want, *quick); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+	runErr := run(want, *quick)
+	stopCPU()
+	if err := profiling.WriteHeap(*memprofile); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"chopper/internal/cluster"
 	"chopper/internal/dag"
@@ -72,6 +73,7 @@ type Engine struct {
 	now        float64
 	srcFiles   map[int]string // source RDD id -> block-store file
 	workerList []*cluster.Node
+	errScratch []error // computePass error slice, reused across waves
 }
 
 // New creates an engine over the given topology and cost model.
@@ -143,6 +145,14 @@ type task struct {
 	pending  []pendingCache
 	blocks   []shuffle.Block // map output (map stages only)
 	writeB   int64
+
+	// Derived once per task at the end of the compute pass, so the
+	// placement and speculation passes (which may evaluate the cost model
+	// several times per task) don't re-sort the byte maps on every call.
+	cacheKeys []string // sortedKeys(cacheBy)
+	shufKeys  []string // sortedKeys(shufBy)
+	cachePref []string // topNodes(cacheBy)
+	shufPref  []string // topNodes(shufBy)
 
 	// Filled by the placement pass.
 	node   *cluster.Node
@@ -303,32 +313,76 @@ func (e *Engine) runStages(stages []*dag.Stage, resultFn func(int, []rdd.Row) (a
 	return out, nil
 }
 
-// computePass materializes every task in parallel (node-agnostic).
+// computePass materializes every task in parallel (node-agnostic). Workers
+// pull task indexes from a shared counter — no goroutine-per-task churn —
+// and record errors into an index-addressed scratch slice the engine reuses
+// across waves. The first error in task order is returned, matching what a
+// sequential loop would surface.
 func (e *Engine) computePass(tasks []*task) error {
+	n := len(tasks)
+	if n == 0 {
+		return nil
+	}
 	workers := e.ComputeWorkers
 	if workers < 1 {
 		workers = 1
 	}
-	sem := make(chan struct{}, workers)
-	errCh := make(chan error, len(tasks))
-	var wg sync.WaitGroup
-	for _, t := range tasks {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(t *task) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errCh <- e.computeTask(t)
-		}(t)
+	if workers > n {
+		workers = n
 	}
-	wg.Wait()
-	close(errCh)
-	for err := range errCh {
+	errs := e.takeErrScratch(n)
+	defer e.putErrScratch(errs)
+	if workers == 1 {
+		for i, t := range tasks {
+			errs[i] = e.computeTask(t)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(errs []error, next *atomic.Int64) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = e.computeTask(tasks[i])
+				}
+			}(errs, &next)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// takeErrScratch hands out the engine's reusable error slice, cleared and
+// sized to n.
+func (e *Engine) takeErrScratch(n int) []error {
+	e.mu.Lock()
+	s := e.errScratch
+	e.errScratch = nil
+	e.mu.Unlock()
+	if cap(s) < n {
+		s = make([]error, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+func (e *Engine) putErrScratch(s []error) {
+	e.mu.Lock()
+	e.errScratch = s
+	e.mu.Unlock()
 }
 
 func (e *Engine) computeTask(t *task) error {
@@ -345,6 +399,10 @@ func (e *Engine) computeTask(t *task) error {
 	t.shufBy = a.shufBy
 	t.cost = a.cost
 	t.pending = a.pending
+	t.cacheKeys = sortedKeys(t.cacheBy)
+	t.shufKeys = sortedKeys(t.shufBy)
+	t.cachePref = topNodes(t.cacheBy)
+	t.shufPref = topNodes(t.shufBy)
 
 	if dep := t.stage.OutDep; dep != nil {
 		buckets, err := rdd.PartitionPairs(rows, dep.Part, dep.Agg)
@@ -522,11 +580,11 @@ func (e *Engine) preferredNodes(t *task) []string {
 			}
 		}
 	}
-	if len(t.cacheBy) > 0 {
-		prefs = append(prefs, topNodes(t.cacheBy)...)
+	if len(t.cachePref) > 0 {
+		prefs = append(prefs, t.cachePref...)
 	}
-	if e.CoPartitionAware && len(t.shufBy) > 0 {
-		prefs = append(prefs, topNodes(t.shufBy)...)
+	if e.CoPartitionAware && len(t.shufPref) > 0 {
+		prefs = append(prefs, t.shufPref...)
 	}
 	if len(t.srcNodes) > 0 {
 		prefs = append(prefs, t.srcNodes...)
@@ -611,8 +669,17 @@ func (e *Engine) taskDuration(t *task, node *cluster.Node) float64 {
 		}
 	}
 	// Accumulate in sorted key order: float addition is not associative, so
-	// summing in map order would leak iteration order into the timings.
-	for _, n := range sortedKeys(t.cacheBy) {
+	// summing in map order would leak iteration order into the timings. The
+	// sorted key lists are precomputed per task by the compute pass; tasks
+	// built elsewhere (tests, probes) fall back to sorting here.
+	cacheKeys, shufKeys := t.cacheKeys, t.shufKeys
+	if cacheKeys == nil && len(t.cacheBy) > 0 {
+		cacheKeys = sortedKeys(t.cacheBy)
+	}
+	if shufKeys == nil && len(t.shufBy) > 0 {
+		shufKeys = sortedKeys(t.shufBy)
+	}
+	for _, n := range cacheKeys {
 		b := t.cacheBy[n]
 		if n == node.Name {
 			d += p.MemReadSec(float64(b))
@@ -620,7 +687,7 @@ func (e *Engine) taskDuration(t *task, node *cluster.Node) float64 {
 			d += float64(b) * p.NetSecPerByte(node, e.nodeOrSelf(n, node))
 		}
 	}
-	for _, n := range sortedKeys(t.shufBy) {
+	for _, n := range shufKeys {
 		b := t.shufBy[n]
 		if n == node.Name {
 			d += p.DiskReadSec(float64(b))

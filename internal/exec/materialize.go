@@ -113,8 +113,8 @@ func (e *Engine) shuffleRead(dep *rdd.ShuffleDep, reduce int, a *acct) ([]rdd.Ro
 		return nil, 0, fmt.Errorf("exec: shuffle %d read before map side finished", dep.ShuffleID)
 	}
 	blocks := e.Shuffle.ReduceInput(dep.ShuffleID, reduce)
-	for n, b := range e.Shuffle.ReduceBytesByNode(dep.ShuffleID, reduce) {
-		a.shufBy[n] += b
+	for _, nb := range e.Shuffle.ReduceNodeBytes(dep.ShuffleID, reduce) {
+		a.shufBy[nb.Node] += nb.Bytes
 	}
 	rows := rdd.MergeReduceBlocks(blocks, dep.Agg)
 	bytes := rdd.LogicalRowsBytes(rows, e.Ctx.LogicalScale)

@@ -6,39 +6,27 @@ import (
 	"chopper/internal/cluster"
 	"chopper/internal/config"
 	"chopper/internal/core"
+	"chopper/internal/experiments/driver"
 	"chopper/internal/model"
 	"chopper/internal/rdd"
 	"chopper/internal/workloads"
 )
 
 // RunAblations executes the design-choice ablations listed in DESIGN.md and
-// returns one table per ablation.
+// returns one table per ablation. Each ablation profiles and runs its own
+// fresh stacks, so the six execute concurrently on the driver pool.
 func RunAblations(quick bool) ([]Table, error) {
-	global, err := AblationGlobalVsPerStage(quick)
-	if err != nil {
-		return nil, err
+	ablations := []func(bool) (Table, error){
+		AblationGlobalVsPerStage,
+		AblationGammaSensitivity,
+		AblationPartitionerChoice,
+		AblationModelFeatures,
+		AblationSpeculationVsPartitioning,
+		AblationHeterogeneity,
 	}
-	gamma, err := AblationGammaSensitivity(quick)
-	if err != nil {
-		return nil, err
-	}
-	part, err := AblationPartitionerChoice(quick)
-	if err != nil {
-		return nil, err
-	}
-	feat, err := AblationModelFeatures(quick)
-	if err != nil {
-		return nil, err
-	}
-	spec, err := AblationSpeculationVsPartitioning(quick)
-	if err != nil {
-		return nil, err
-	}
-	het, err := AblationHeterogeneity(quick)
-	if err != nil {
-		return nil, err
-	}
-	return []Table{global, gamma, part, feat, spec, het}, nil
+	return driver.Map(len(ablations), func(i int) (Table, error) {
+		return ablations[i](quick)
+	})
 }
 
 // configFromSchemes converts optimizer output into a configuration file.

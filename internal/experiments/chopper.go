@@ -6,6 +6,7 @@ import (
 	"chopper/internal/config"
 	"chopper/internal/core"
 	"chopper/internal/dag"
+	"chopper/internal/experiments/driver"
 	"chopper/internal/rdd"
 	"chopper/internal/workloads"
 )
@@ -34,19 +35,24 @@ func (p ProfilePlan) RunCount() int {
 }
 
 // Profile executes the plan for a workload, filling db with observations.
+// The test runs are independent (each builds a fresh stack) and execute on
+// the driver worker pool; harvesting mutates the shared DB, whose float
+// accumulation is order-sensitive, so it happens after the pool drains,
+// sequentially in grid order — exactly the order the sequential loop used.
 func Profile(db *core.DB, w workloads.Workload, targetBytes int64, plan ProfilePlan, opt Options) error {
 	opt = opt.withDefaults()
 
-	// Default run: the vanilla configuration is the cost reference.
+	type profileRun struct {
+		bytes     int64
+		opt       Options
+		isDefault bool
+		label     string
+	}
+	// Default run first: the vanilla configuration is the cost reference.
 	defOpt := opt
 	defOpt.Configurator = nil
 	defOpt.CoPartition = false
-	rt, _, err := RunWorkload(w, targetBytes, defOpt)
-	if err != nil {
-		return fmt.Errorf("experiments: default profile run: %w", err)
-	}
-	rt.Rec.Harvest(db, w.Name(), float64(targetBytes), rt.Col, true)
-
+	runs := []profileRun{{bytes: targetBytes, opt: defOpt, isDefault: true, label: "default profile run"}}
 	for _, frac := range plan.SizeFractions {
 		bytes := int64(frac * float64(targetBytes))
 		for _, scheme := range plan.Schemes {
@@ -54,13 +60,27 @@ func Profile(db *core.DB, w workloads.Workload, targetBytes int64, plan ProfileP
 				runOpt := opt
 				runOpt.CoPartition = false
 				runOpt.Configurator = &core.ForceAll{Spec: dag.SchemeSpec{Scheme: scheme, NumPartitions: p}}
-				rt, _, err := RunWorkload(w, bytes, runOpt)
-				if err != nil {
-					return fmt.Errorf("experiments: profile run (%s,%d,%.1f): %w", scheme, p, frac, err)
-				}
-				rt.Rec.Harvest(db, w.Name(), float64(bytes), rt.Col, false)
+				runs = append(runs, profileRun{
+					bytes: bytes,
+					opt:   runOpt,
+					label: fmt.Sprintf("profile run (%s,%d,%.1f)", scheme, p, frac),
+				})
 			}
 		}
+	}
+
+	rts, err := driver.Map(len(runs), func(i int) (*Runtime, error) {
+		rt, _, err := RunWorkload(w, runs[i].bytes, runs[i].opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", runs[i].label, err)
+		}
+		return rt, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, rt := range rts {
+		rt.Rec.Harvest(db, w.Name(), float64(runs[i].bytes), rt.Col, runs[i].isDefault)
 	}
 	return nil
 }

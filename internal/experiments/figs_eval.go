@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"chopper/internal/experiments/driver"
 	"chopper/internal/metrics"
 	"chopper/internal/workloads"
 )
@@ -45,22 +46,21 @@ func evalPlan(quick bool) ProfilePlan {
 }
 
 // RunEvaluation trains CHOPPER per workload and executes the Table I-sized
-// vanilla and CHOPPER runs.
+// vanilla and CHOPPER runs. The three workload pipelines are independent and
+// run concurrently on the driver pool.
 func RunEvaluation(quick bool) (*Evaluation, error) {
 	k, p, s := evalWorkloads(quick)
 	plan := evalPlan(quick)
 	ev := &Evaluation{Quick: quick}
 
-	var err error
-	if ev.KMeans, err = Compare(k, k.DefaultInputBytes(), plan, Options{}); err != nil {
+	jobs := []workloads.Workload{k, p, s}
+	results, err := driver.Map(len(jobs), func(i int) (Compared, error) {
+		return Compare(jobs[i], jobs[i].DefaultInputBytes(), plan, Options{})
+	})
+	if err != nil {
 		return nil, err
 	}
-	if ev.PCA, err = Compare(p, p.DefaultInputBytes(), plan, Options{}); err != nil {
-		return nil, err
-	}
-	if ev.SQL, err = Compare(s, s.DefaultInputBytes(), plan, Options{}); err != nil {
-		return nil, err
-	}
+	ev.KMeans, ev.PCA, ev.SQL = results[0], results[1], results[2]
 	ev.Results = []Compared{ev.PCA, ev.KMeans, ev.SQL}
 	return ev, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"chopper/internal/core"
 	"chopper/internal/dag"
+	"chopper/internal/experiments/driver"
 	"chopper/internal/metrics"
 	"chopper/internal/rdd"
 	"chopper/internal/workloads"
@@ -40,17 +41,21 @@ func RunMotivation(quick bool, partitions []int) (*Motivation, error) {
 		partitions = MotivationPartitions
 	}
 	m := &Motivation{Partitions: partitions}
-	for _, p := range partitions {
+	// The partition counts are independent runs on fresh stacks; the driver
+	// pool executes them concurrently and returns them in grid order.
+	runs, err := driver.Map(len(partitions), func(i int) (*Runtime, error) {
+		p := partitions[i]
 		opt := Options{
 			Mode:         fmt.Sprintf("spark-p%d", p),
 			Configurator: &core.ForceAll{Spec: dag.SchemeSpec{Scheme: rdd.SchemeHash, NumPartitions: p}},
 		}
 		rt, _, err := RunWorkload(quickKMeans(quick), MotivationInputBytes, opt)
-		if err != nil {
-			return nil, err
-		}
-		m.Runs = append(m.Runs, rt)
+		return rt, err
+	})
+	if err != nil {
+		return nil, err
 	}
+	m.Runs = runs
 	return m, nil
 }
 

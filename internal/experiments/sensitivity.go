@@ -5,6 +5,7 @@ import (
 
 	"chopper/internal/cluster"
 	"chopper/internal/config"
+	"chopper/internal/experiments/driver"
 )
 
 // SensitivityStudy checks that the reproduction's headline conclusion —
@@ -44,24 +45,26 @@ func SensitivityStudy(quick bool) (Table, error) {
 		}},
 	}
 
-	_, _, s := evalWorkloads(quick)
-	bytes := s.DefaultInputBytes()
 	t := Table{
 		Title:  "Extension — cost-model sensitivity (SQL, full pipeline per scenario)",
 		Header: []string{"scenario", "spark(s)", "chopper(s)", "improvement"},
 	}
-	for _, sc := range scenarios {
-		params := sc.mutate(base)
-		opt := Options{Params: params}
+	// Each scenario is a full independent pipeline (own workload instance,
+	// own DB, fresh stacks); rows come back in scenario order.
+	rows, err := driver.Map(len(scenarios), func(i int) ([]string, error) {
+		sc := scenarios[i]
+		_, _, s := evalWorkloads(quick)
+		bytes := s.DefaultInputBytes()
+		opt := Options{Params: sc.mutate(base)}
 		trained, err := Train(s, bytes, evalPlan(quick), opt)
 		if err != nil {
-			return Table{}, fmt.Errorf("experiments: sensitivity %q: %w", sc.name, err)
+			return nil, fmt.Errorf("experiments: sensitivity %q: %w", sc.name, err)
 		}
 		sparkOpt := opt
 		sparkOpt.Mode = "spark"
 		spark, _, err := RunWorkload(s, bytes, sparkOpt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		tunedOpt := opt
 		tunedOpt.Mode = "chopper"
@@ -69,10 +72,14 @@ func SensitivityStudy(quick bool) (Table, error) {
 		tunedOpt.Configurator = &config.Static{F: trained.Config}
 		tuned, _, err := RunWorkload(s, bytes, tunedOpt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		sv, tv := spark.Col.TotalTime(), tuned.Col.TotalTime()
-		t.Rows = append(t.Rows, []string{sc.name, f1(sv), f1(tv), fpct((sv - tv) / sv * 100)})
+		return []string{sc.name, f1(sv), f1(tv), fpct((sv - tv) / sv * 100)}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }

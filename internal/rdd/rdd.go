@@ -56,11 +56,23 @@ type ShuffleDep struct {
 func (d *ShuffleDep) Parent() *RDD { return d.P }
 
 // Aggregator describes combine semantics for a shuffle (Spark's Aggregator).
+//
+// The F64 hooks are optional unboxed twins of the interface functions: when
+// all three are set and the values flowing through a combine kernel are
+// float64, PartitionPairs and MergeReduceBlocks accumulate in raw float64
+// registers and box only once per distinct key on output, instead of once
+// per record. The hooks MUST compute exactly what their boxed counterparts
+// compute (same operations in the same order — float addition is not
+// associative), or the engine and the single-threaded oracle diverge.
 type Aggregator struct {
 	Create         func(v any) any
 	MergeValue     func(acc any, v any) any
 	MergeCombiners func(a, b any) any
 	MapSideCombine bool
+
+	CreateF64         func(v float64) float64
+	MergeValueF64     func(acc, v float64) float64
+	MergeCombinersF64 func(a, b float64) float64
 }
 
 // SumAggregator combines float64 values by addition.
@@ -70,6 +82,10 @@ func SumAggregator() *Aggregator {
 		MergeValue:     func(acc, v any) any { return acc.(float64) + v.(float64) },
 		MergeCombiners: func(a, b any) any { return a.(float64) + b.(float64) },
 		MapSideCombine: true,
+
+		CreateF64:         func(v float64) float64 { return v },
+		MergeValueF64:     func(acc, v float64) float64 { return acc + v },
+		MergeCombinersF64: func(a, b float64) float64 { return a + b },
 	}
 }
 

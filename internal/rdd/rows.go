@@ -72,12 +72,14 @@ func LogicalRowsBytes(rows []Row, scale float64) float64 {
 	return total
 }
 
-// LogicalPairsBytes is LogicalRowsBytes for pair slices.
+// LogicalPairsBytes is LogicalRowsBytes for pair slices. It sizes each pair
+// through PairBytes rather than RowBytes so the pairs are never boxed into
+// interfaces — this runs once per shuffled record on the map side.
 func LogicalPairsBytes(pairs []Pair, scale float64) float64 {
 	total := 0.0
-	for _, p := range pairs {
-		b := float64(RowBytes(p))
-		if rowScalesWithInput(p.V) {
+	for i := range pairs {
+		b := float64(PairBytes(pairs[i]))
+		if rowScalesWithInput(pairs[i].V) {
 			b *= scale
 		}
 		total += b
@@ -99,9 +101,7 @@ func KeyHash(k any) uint64 {
 	case uint64:
 		return mix(v)
 	case string:
-		h := fnv.New64a()
-		_, _ = h.Write([]byte(v))
-		return h.Sum64()
+		return fnv1aString(v)
 	case float64:
 		return mix(math.Float64bits(v))
 	case bool:
@@ -116,6 +116,22 @@ func KeyHash(k any) uint64 {
 		_, _ = h.Write([]byte(fmt.Sprintf("%T:%v", k, k)))
 		return h.Sum64()
 	}
+}
+
+// fnv1aString is FNV-1a over the string's bytes without constructing a
+// hash.Hash or copying into a []byte — byte-identical to fnv.New64a, but
+// allocation-free and inlinable on the per-pair partitioning path.
+func fnv1aString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
 }
 
 // mix is a 64-bit finalizer (splitmix64) so that small sequential integers
@@ -224,7 +240,7 @@ func RowBytes(r Row) int64 {
 	case []int64:
 		return int64(8*len(v)) + 16
 	case Pair:
-		return RowBytes(v.K) + RowBytes(v.V) + 8
+		return PairBytes(v)
 	case []any:
 		var sum int64 = 24
 		for _, e := range v {
@@ -252,6 +268,13 @@ func RowBytes(r Row) int64 {
 	}
 }
 
+// PairBytes is RowBytes for a concrete Pair, avoiding the interface boxing
+// RowBytes(Row) would force on every call (K and V are already interfaces,
+// so sizing them costs nothing extra).
+func PairBytes(p Pair) int64 {
+	return RowBytes(p.K) + RowBytes(p.V) + 8
+}
+
 // RowsBytes sums RowBytes over a slice of rows.
 func RowsBytes(rows []Row) int64 {
 	var sum int64
@@ -264,8 +287,8 @@ func RowsBytes(rows []Row) int64 {
 // PairsBytes sums RowBytes over a slice of pairs.
 func PairsBytes(pairs []Pair) int64 {
 	var sum int64
-	for _, p := range pairs {
-		sum += RowBytes(p)
+	for i := range pairs {
+		sum += PairBytes(pairs[i])
 	}
 	return sum
 }

@@ -8,6 +8,13 @@
 // costs a fixed overhead (headers, index entries, framing) on top of its
 // payload. This is why total shuffle bytes grow with the partition count
 // even at constant payload — the effect behind the paper's Fig. 4.
+//
+// Concurrency: the Manager's own lock only guards the shuffle-id table;
+// each shuffle carries its own mutex, so tasks of different shuffles never
+// contend. Locality queries (ReduceNodeBytes and friends) snapshot the
+// output table under the shuffle's lock and aggregate outside it — map
+// outputs are immutable once stored, so the snapshot stays valid — and the
+// per-reduce aggregate is cached until the next map output invalidates it.
 package shuffle
 
 import (
@@ -25,21 +32,40 @@ type Block struct {
 	PayloadBytes int64
 }
 
+// NodeBytes is one entry of a reduce partition's locality profile: how many
+// input bytes (payload + overhead) live on one map node. Slices of NodeBytes
+// are always sorted by node name, so iteration order is deterministic.
+type NodeBytes struct {
+	Node  string
+	Bytes int64
+}
+
 type mapOutput struct {
 	node   string
 	blocks []Block
 }
 
+type reduceNodeCache struct {
+	gen   uint64 // state generation the entry was computed at
+	valid bool
+	nodes []NodeBytes
+}
+
 type state struct {
+	mu        sync.Mutex
 	numMaps   int
 	numReduce int
 	outputs   []*mapOutput
 	completed int
+	// gen counts map-output mutations; nodeCache entries are valid only
+	// while their gen matches.
+	gen       uint64
+	nodeCache []reduceNodeCache
 }
 
 // Manager tracks all shuffles of a run.
 type Manager struct {
-	mu            sync.Mutex
+	mu            sync.RWMutex
 	overheadBytes int64
 	emptyBytes    int64
 	shuffles      map[int]*state
@@ -63,6 +89,11 @@ func (m *Manager) BlockOverhead(payloadBytes int64) int64 {
 	return m.overheadBytes
 }
 
+// blockBytes is payload plus overhead for one block.
+func (m *Manager) blockBytes(b Block) int64 {
+	return b.PayloadBytes + m.BlockOverhead(b.PayloadBytes)
+}
+
 // Register announces a shuffle before its map stage runs. Re-registering an
 // id resets it (a stage retune re-runs the map side).
 func (m *Manager) Register(shuffleID, numMaps, numReduce int) {
@@ -75,6 +106,7 @@ func (m *Manager) Register(shuffleID, numMaps, numReduce int) {
 		numMaps:   numMaps,
 		numReduce: numReduce,
 		outputs:   make([]*mapOutput, numMaps),
+		nodeCache: make([]reduceNodeCache, numReduce),
 	}
 }
 
@@ -82,9 +114,13 @@ func (m *Manager) Register(shuffleID, numMaps, numReduce int) {
 // the total bytes written (payload plus per-block overhead), the quantity
 // the metrics layer reports as shuffle write.
 func (m *Manager) PutMapOutput(shuffleID, mapTask int, node string, blocks []Block) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	st := m.mustGet(shuffleID)
+	var bytes int64
+	for _, b := range blocks {
+		bytes += m.blockBytes(b)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if mapTask < 0 || mapTask >= st.numMaps {
 		panic(fmt.Sprintf("shuffle %d: map task %d out of range [0,%d)", shuffleID, mapTask, st.numMaps))
 	}
@@ -95,30 +131,37 @@ func (m *Manager) PutMapOutput(shuffleID, mapTask int, node string, blocks []Blo
 		st.completed++
 	}
 	st.outputs[mapTask] = &mapOutput{node: node, blocks: blocks}
-	var bytes int64
-	for _, b := range blocks {
-		bytes += b.PayloadBytes + m.BlockOverhead(b.PayloadBytes)
-	}
+	st.gen++
 	return bytes
 }
 
 // Complete reports whether every map task has registered output.
 func (m *Manager) Complete(shuffleID int) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	st := m.mustGet(shuffleID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return st.completed == st.numMaps
+}
+
+// snapshotOutputs copies the output table header under the shuffle lock and
+// returns it with the generation it was taken at. The *mapOutput entries are
+// immutable once stored, so callers may read them without the lock.
+func (st *state) snapshotOutputs() ([]*mapOutput, uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	outs := make([]*mapOutput, len(st.outputs))
+	copy(outs, st.outputs)
+	return outs, st.gen
 }
 
 // ReduceInput returns the blocks destined for a reduce partition, one per
 // map task in map-task order (deterministic merge order downstream).
 func (m *Manager) ReduceInput(shuffleID, reduce int) [][]rdd.Pair {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	st := m.mustGet(shuffleID)
-	m.checkReduce(st, shuffleID, reduce)
-	out := make([][]rdd.Pair, st.numMaps)
-	for i, mo := range st.outputs {
+	checkReduce(st, shuffleID, reduce)
+	outs, _ := st.snapshotOutputs()
+	out := make([][]rdd.Pair, len(outs))
+	for i, mo := range outs {
 		if mo == nil {
 			panic(fmt.Sprintf("shuffle %d: reduce read before map %d finished", shuffleID, i))
 		}
@@ -130,38 +173,62 @@ func (m *Manager) ReduceInput(shuffleID, reduce int) [][]rdd.Pair {
 // ReduceBytes reports the bytes a reduce task on readerNode fetches,
 // split into local and remote volumes (overhead included per block).
 func (m *Manager) ReduceBytes(shuffleID, reduce int, readerNode string) (local, remote int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := m.mustGet(shuffleID)
-	m.checkReduce(st, shuffleID, reduce)
-	for _, mo := range st.outputs {
-		if mo == nil {
-			continue
-		}
-		b := mo.blocks[reduce].PayloadBytes + m.BlockOverhead(mo.blocks[reduce].PayloadBytes)
-		if mo.node == readerNode {
-			local += b
+	for _, nb := range m.ReduceNodeBytes(shuffleID, reduce) {
+		if nb.Node == readerNode {
+			local += nb.Bytes
 		} else {
-			remote += b
+			remote += nb.Bytes
 		}
 	}
 	return local, remote
 }
 
-// ReduceBytesByNode reports, for one reduce partition, how many input bytes
-// live on each map node — the locality signal for reduce placement.
-func (m *Manager) ReduceBytesByNode(shuffleID, reduce int) map[string]int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// ReduceNodeBytes reports, for one reduce partition, how many input bytes
+// live on each map node — the locality signal for reduce placement —
+// sorted by node name. The result is cached per reduce partition until the
+// next map output lands, so the scheduler's O(reduce tasks) placement
+// queries don't rescan the O(maps) output table each time. Callers must not
+// mutate the returned slice.
+func (m *Manager) ReduceNodeBytes(shuffleID, reduce int) []NodeBytes {
 	st := m.mustGet(shuffleID)
-	m.checkReduce(st, shuffleID, reduce)
-	out := map[string]int64{}
-	for _, mo := range st.outputs {
+	checkReduce(st, shuffleID, reduce)
+
+	st.mu.Lock()
+	if c := st.nodeCache[reduce]; c.valid && c.gen == st.gen {
+		st.mu.Unlock()
+		return c.nodes
+	}
+	st.mu.Unlock()
+
+	outs, gen := st.snapshotOutputs()
+	totals := map[string]int64{}
+	for _, mo := range outs {
 		if mo == nil {
 			continue
 		}
-		blk := mo.blocks[reduce]
-		out[mo.node] += blk.PayloadBytes + m.BlockOverhead(blk.PayloadBytes)
+		totals[mo.node] += m.blockBytes(mo.blocks[reduce])
+	}
+	nodes := make([]NodeBytes, 0, len(totals))
+	for n, b := range totals {
+		nodes = append(nodes, NodeBytes{Node: n, Bytes: b})
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Node < nodes[j].Node })
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if gen == st.gen {
+		st.nodeCache[reduce] = reduceNodeCache{gen: gen, valid: true, nodes: nodes}
+	}
+	return nodes
+}
+
+// ReduceBytesByNode is ReduceNodeBytes as a map, for callers that prefer
+// keyed lookup over ordered iteration.
+func (m *Manager) ReduceBytesByNode(shuffleID, reduce int) map[string]int64 {
+	nodes := m.ReduceNodeBytes(shuffleID, reduce)
+	out := make(map[string]int64, len(nodes))
+	for _, nb := range nodes {
+		out[nb.Node] = nb.Bytes
 	}
 	return out
 }
@@ -172,8 +239,8 @@ func (m *Manager) ReduceBytesByNode(shuffleID, reduce int) map[string]int64 {
 func (m *Manager) BestReduceNode(shuffleIDs []int, reduce int) (string, bool) {
 	totals := map[string]int64{}
 	for _, id := range shuffleIDs {
-		for n, b := range m.ReduceBytesByNode(id, reduce) {
-			totals[n] += b
+		for _, nb := range m.ReduceNodeBytes(id, reduce) {
+			totals[nb.Node] += nb.Bytes
 		}
 	}
 	if len(totals) == 0 {
@@ -196,16 +263,15 @@ func (m *Manager) BestReduceNode(shuffleIDs []int, reduce int) (string, bool) {
 // TotalWriteBytes reports the total bytes written by a shuffle so far
 // (payload + overhead over all blocks).
 func (m *Manager) TotalWriteBytes(shuffleID int) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	st := m.mustGet(shuffleID)
+	outs, _ := st.snapshotOutputs()
 	var sum int64
-	for _, mo := range st.outputs {
+	for _, mo := range outs {
 		if mo == nil {
 			continue
 		}
 		for _, b := range mo.blocks {
-			sum += b.PayloadBytes + m.BlockOverhead(b.PayloadBytes)
+			sum += m.blockBytes(b)
 		}
 	}
 	return sum
@@ -213,12 +279,13 @@ func (m *Manager) TotalWriteBytes(shuffleID int) int64 {
 
 // NumReduce reports the reduce-side partition count of a shuffle.
 func (m *Manager) NumReduce(shuffleID int) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	// numReduce is immutable after Register; no state lock needed.
 	return m.mustGet(shuffleID).numReduce
 }
 
 func (m *Manager) mustGet(id int) *state {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	st, ok := m.shuffles[id]
 	if !ok {
 		panic(fmt.Sprintf("shuffle: unknown shuffle id %d", id))
@@ -226,7 +293,7 @@ func (m *Manager) mustGet(id int) *state {
 	return st
 }
 
-func (m *Manager) checkReduce(st *state, id, reduce int) {
+func checkReduce(st *state, id, reduce int) {
 	if reduce < 0 || reduce >= st.numReduce {
 		panic(fmt.Sprintf("shuffle %d: reduce %d out of range [0,%d)", id, reduce, st.numReduce))
 	}
