@@ -1,0 +1,140 @@
+// Package api defines the wire types of chopperd, the tuning-as-a-service
+// daemon: request and response bodies for every /v1 endpoint. Both the
+// server (internal/service) and the typed client (client) build on these,
+// so the two sides can never drift apart.
+//
+// Endpoint map (all JSON unless noted):
+//
+//	POST /v1/jobs        SubmitRequest    -> SubmitResponse
+//	POST /v1/train       TrainRequest     -> TrainResponse
+//	GET  /v1/recommend   query params     -> RecommendResponse
+//	GET  /v1/explain     query params     -> text/plain optimizer report
+//	GET  /v1/workloads                    -> WorkloadsResponse
+//	GET  /healthz                         -> Health
+//	GET  /metrics                         -> Prometheus text format
+//	GET  /debug/pprof/*                   -> runtime profiles
+package api
+
+// Error is the JSON error body every non-2xx /v1 response carries.
+type Error struct {
+	Status int    `json:"status"`
+	Error  string `json:"error"`
+	// RetryAfterSeconds echoes the Retry-After header on 429 responses.
+	RetryAfterSeconds float64 `json:"retryAfterSeconds,omitempty"`
+}
+
+// SubmitRequest runs a named built-in workload once through a pooled
+// session.
+type SubmitRequest struct {
+	// Workload is the built-in workload name (kmeans, pca, sql, pagerank).
+	Workload string `json:"workload"`
+	// InputBytes is the logical input size; 0 means the workload default.
+	InputBytes int64 `json:"inputBytes,omitempty"`
+	// Shrink scales the physical dataset down; 0 means the server default.
+	Shrink int `json:"shrink,omitempty"`
+	// Tuned runs under the CHOPPER configuration generated from the
+	// profile store instead of the vanilla Spark configuration.
+	Tuned bool `json:"tuned,omitempty"`
+	// NoRecord skips folding the run's observed statistics back into the
+	// profile store.
+	NoRecord bool `json:"noRecord,omitempty"`
+	// TimeoutSeconds caps queue wait + execution; 0 means the server
+	// default deadline.
+	TimeoutSeconds float64 `json:"timeoutSeconds,omitempty"`
+}
+
+// StageResult is one executed stage of a submitted job.
+type StageResult struct {
+	ID           int     `json:"id"`
+	Name         string  `json:"name"`
+	Signature    string  `json:"sig"`
+	Partitioner  string  `json:"partitioner"`
+	Tasks        int     `json:"tasks"`
+	InputBytes   int64   `json:"inputBytes"`
+	ShuffleRead  int64   `json:"shuffleRead"`
+	ShuffleWrite int64   `json:"shuffleWrite"`
+	Seconds      float64 `json:"seconds"`
+}
+
+// SchemeEntry is one stage's tuned partition scheme.
+type SchemeEntry struct {
+	Signature         string `json:"sig"`
+	Scheme            string `json:"scheme"`
+	NumPartitions     int    `json:"partitions"`
+	InsertRepartition bool   `json:"insertRepartition,omitempty"`
+}
+
+// SubmitResponse reports one completed job.
+type SubmitResponse struct {
+	Workload   string  `json:"workload"`
+	Mode       string  `json:"mode"` // "spark" or "chopper"
+	InputBytes int64   `json:"inputBytes"`
+	SimSeconds float64 `json:"simSeconds"`
+	Checksum   float64 `json:"checksum"`
+	// Schemes is the tuned configuration applied (Tuned requests only).
+	Schemes []SchemeEntry `json:"schemes,omitempty"`
+	Stages  []StageResult `json:"stages"`
+	// Recorded reports whether the run was folded into the profile store.
+	Recorded bool `json:"recorded"`
+}
+
+// TrainRequest runs incremental profiling (the paper's lightweight test
+// runs) for one workload, folding every run into the profile store.
+type TrainRequest struct {
+	Workload   string `json:"workload"`
+	InputBytes int64  `json:"inputBytes,omitempty"`
+	Shrink     int    `json:"shrink,omitempty"`
+	// SizeFractions, Partitions and Range override the default trial plan
+	// when non-empty (smaller grids make cheaper incremental updates).
+	SizeFractions  []float64 `json:"sizeFractions,omitempty"`
+	Partitions     []int     `json:"partitions,omitempty"`
+	Range          *bool     `json:"range,omitempty"`
+	TimeoutSeconds float64   `json:"timeoutSeconds,omitempty"`
+}
+
+// TrainResponse reports a completed training job.
+type TrainResponse struct {
+	Workload string `json:"workload"`
+	// Runs is the number of profile runs this request executed.
+	Runs int `json:"runs"`
+	// TotalRuns and TotalSamples are the workload's cumulative DB state.
+	TotalRuns    int `json:"totalRuns"`
+	TotalSamples int `json:"totalSamples"`
+}
+
+// RecommendResponse is the read-only tuning answer for a workload at an
+// input size: the partition schemes the optimizer would apply.
+type RecommendResponse struct {
+	Workload   string        `json:"workload"`
+	InputBytes int64         `json:"inputBytes"`
+	Schemes    []SchemeEntry `json:"schemes"`
+	// Runs/Samples describe the profile data the answer was derived from.
+	Runs    int `json:"runs"`
+	Samples int `json:"samples"`
+}
+
+// WorkloadInfo describes one built-in workload and its profile state.
+type WorkloadInfo struct {
+	Name              string `json:"name"`
+	DefaultInputBytes int64  `json:"defaultInputBytes"`
+	Runs              int    `json:"runs"`
+	Samples           int    `json:"samples"`
+}
+
+// WorkloadsResponse lists the available workloads.
+type WorkloadsResponse struct {
+	Workloads []WorkloadInfo `json:"workloads"`
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queueDepth"`
+	QueueCap      int     `json:"queueCap"`
+	Draining      bool    `json:"draining"`
+	// Store describes the durable profile store; empty when in-memory.
+	StorePath      string `json:"storePath,omitempty"`
+	JournalRecords int    `json:"journalRecords"`
+}

@@ -24,6 +24,7 @@ package chopper
 import (
 	"fmt"
 	"os"
+	"sync"
 
 	"chopper/internal/cluster"
 	"chopper/internal/config"
@@ -133,22 +134,43 @@ func WithDynamicTuning(path string) Option {
 
 // Session is a driver connected to a simulated cluster.
 type Session struct {
-	ctx *rdd.Context
-	eng *exec.Engine
-	sch *dag.Scheduler
-	col *metrics.Collector
-	rec *core.Recorder
+	opts []Option
+	ctx  *rdd.Context
+	eng  *exec.Engine
+	sch  *dag.Scheduler
+	col  *metrics.Collector
+	rec  *core.Recorder
 }
 
 // NewSession creates a fresh cluster and driver.
 func NewSession(opts ...Option) *Session {
+	s := &Session{opts: opts}
+	s.Reset()
+	return s
+}
+
+// Reset rebuilds the session — cluster, engine, scheduler, metrics
+// collector, recorder — from its original options plus extra, returning it
+// to the state NewSession left it in: caches cleared, simulated clock at
+// zero, no recorded stages. It is the reuse hook behind SessionPool: a
+// long-running service resets a pooled session per job instead of paying
+// NewSession's option plumbing twice.
+//
+// One caveat: options that capture pointers (WithTopology, WithConfigurator)
+// re-apply the same captured object on every Reset, so a WithTopology
+// session shares — and keeps — that topology's state across resets. The
+// default paper cluster is rebuilt fresh each time.
+func (s *Session) Reset(extra ...Option) {
 	sc := sessionConfig{
 		topo:        cluster.PaperCluster(),
 		params:      cluster.DefaultCostParams(),
 		parallelism: 300,
 		mode:        "spark",
 	}
-	for _, o := range opts {
+	for _, o := range s.opts {
+		o(&sc)
+	}
+	for _, o := range extra {
 		o(&sc)
 	}
 	ctx := rdd.NewContext(sc.parallelism)
@@ -174,7 +196,51 @@ func NewSession(opts ...Option) *Session {
 			sch.Verify = verify.Hook(lim)
 		}
 	}
-	return &Session{ctx: ctx, eng: eng, sch: sch, col: col, rec: rec}
+	s.ctx, s.eng, s.sch, s.col, s.rec = ctx, eng, sch, col, rec
+}
+
+// SessionPool recycles Sessions across jobs for a long-running driver
+// (chopperd): Acquire hands out a freshly Reset session built from the
+// pool's base options plus any per-job extras (e.g. WithTuning), Release
+// returns it for reuse. Safe for concurrent use; the pool never blocks —
+// it creates a new session when none is free, and callers bound
+// concurrency themselves (chopperd's worker pool does).
+type SessionPool struct {
+	mu   sync.Mutex
+	opts []Option
+	free []*Session
+}
+
+// NewSessionPool returns a pool whose sessions are built from opts.
+func NewSessionPool(opts ...Option) *SessionPool {
+	return &SessionPool{opts: opts}
+}
+
+// Acquire returns a session in post-NewSession state, configured with the
+// pool's options plus extra.
+func (p *SessionPool) Acquire(extra ...Option) *Session {
+	p.mu.Lock()
+	var s *Session
+	if n := len(p.free); n > 0 {
+		s, p.free = p.free[n-1], p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if s == nil {
+		s = &Session{opts: p.opts}
+	}
+	s.Reset(extra...)
+	return s
+}
+
+// Release returns a session to the pool. The session must not be used
+// again by the caller; its accumulated state is discarded on next Acquire.
+func (p *SessionPool) Release(s *Session) {
+	if s == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
 }
 
 // Context exposes the underlying RDD context for advanced use.

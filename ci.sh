@@ -64,11 +64,21 @@ echo "== race (parallel sweep) =="
 go test -race -run 'TestParallelMatchesSequential' -count=1 ./internal/experiments
 
 echo "== chopperbench (regression gate) =="
-# Benchmark-regression harness: re-measures the shuffle/combine kernels and
-# the quick sweep, then gates allocs/op (exact, machine-independent) and the
-# parallel-sweep speedup (floor scaled to GOMAXPROCS) against the committed
-# baseline. Re-baseline with:  go run ./cmd/chopperbench -out BENCH_4.json
-go run ./cmd/chopperbench -short -compare BENCH_4.json -tolerance 10%
+# Benchmark-regression harness: re-measures the shuffle/combine kernels, the
+# quick sweep, and the chopperd serving stack under closed-loop load, then
+# gates allocs/op (exact, machine-independent), the parallel-sweep speedup
+# (floor scaled to GOMAXPROCS), and zero dropped service requests against
+# the committed baseline. Re-baseline with:
+#   go run ./cmd/chopperbench -out BENCH_5.json
+go run ./cmd/chopperbench -short -compare BENCH_5.json -tolerance 10%
+
+echo "== chopperd smoke =="
+# End-to-end daemon gate: spawn a real chopperd on an ephemeral port, train,
+# survive a 64-way mixed burst with zero drops, SIGKILL and verify the
+# journal replays to a byte-identical recommendation, then SIGTERM with a
+# job in flight and verify the clean drain + snapshot restart.
+go build -o /tmp/chopperd.ci ./cmd/chopperd
+go run ./cmd/chopperload -smoke -chopperd /tmp/chopperd.ci
 
 echo "== fuzz (5s) =="
 go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/exec

@@ -1,12 +1,13 @@
 // Command chopperbench is the benchmark-regression harness: it measures the
-// hot-path kernels (shuffle partitioning, reduce-side merge, byte sizing)
-// and the end-to-end experiment sweep at two driver widths, then optionally
-// gates the numbers against a committed baseline (BENCH_4.json).
+// hot-path kernels (shuffle partitioning, reduce-side merge, byte sizing),
+// the end-to-end experiment sweep at two driver widths, and the chopperd
+// serving stack under closed-loop load, then optionally gates the numbers
+// against a committed baseline (BENCH_5.json).
 //
 // Usage:
 //
 //	chopperbench [-runs N] [-short] [-parallel N] [-out file]
-//	             [-compare BENCH_4.json] [-tolerance 10%] [-strict-time]
+//	             [-compare BENCH_5.json] [-tolerance 10%] [-strict-time]
 //	             [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Without -compare it measures and (with -out) writes a fresh baseline.
@@ -21,7 +22,10 @@
 //   - the end-to-end sweep speedup at -parallel workers vs sequential falls
 //     below the floor for this machine's GOMAXPROCS: >= 2.0 with 4+ procs,
 //     >= 1.3 with 2-3, not gated on a single-proc machine (run-level
-//     parallelism cannot buy wall time there; the kernel gates still apply).
+//     parallelism cannot buy wall time there; the kernel gates still apply);
+//   - the chopperd service bench dropped any request under concurrent load
+//     (throughput and latency are machine-dependent and recorded for the
+//     baseline; throughput gates only under -strict-time).
 package main
 
 import (
@@ -59,7 +63,8 @@ type EndToEnd struct {
 	Speedup       float64 `json:"speedup"`
 }
 
-// Report is the chopperbench output schema (BENCH_4.json).
+// Report is the chopperbench output schema (BENCH_5.json). Schema 2 added
+// the chopperd service row.
 type Report struct {
 	Schema      int            `json:"schema"`
 	GoMaxProcs  int            `json:"go_maxprocs"`
@@ -67,6 +72,7 @@ type Report struct {
 	Kernels     []KernelResult `json:"kernels"`
 	SeedKernels []KernelResult `json:"seed_kernels"`
 	EndToEnd    EndToEnd       `json:"end_to_end"`
+	Service     ServiceBench   `json:"service"`
 	PeakRSS     int64          `json:"peak_rss_bytes"`
 }
 
@@ -324,6 +330,7 @@ func compareReports(cur, base Report, tol float64, strictTime bool) []string {
 	} else {
 		fmt.Printf("  speedup gate skipped: GOMAXPROCS=%d leaves no room for run-level parallelism\n", cur.GoMaxProcs)
 	}
+	violations = append(violations, compareService(cur.Service, base.Service, tol, strictTime)...)
 	return violations
 }
 
@@ -365,7 +372,7 @@ func run() error {
 
 	fmt.Println("chopperbench: kernels")
 	rep := Report{
-		Schema:      1,
+		Schema:      2,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Short:       *short,
 		Kernels:     measureKernels(*runs),
@@ -373,6 +380,10 @@ func run() error {
 	}
 	fmt.Println("chopperbench: end-to-end sweep")
 	if rep.EndToEnd, err = measureEndToEnd(*parallel, *short); err != nil {
+		return err
+	}
+	fmt.Println("chopperbench: chopperd service")
+	if rep.Service, err = measureService(*short); err != nil {
 		return err
 	}
 	rep.PeakRSS = peakRSSBytes()

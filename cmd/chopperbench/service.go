@@ -1,0 +1,116 @@
+package main
+
+// The chopperd service benchmark: an in-process daemon (in-memory store, so
+// the numbers measure the serving stack, not fsync) driven by the
+// closed-loop load generator. Recorded in the committed baseline
+// (BENCH_5.json) and gated on zero dropped requests; latency/throughput are
+// machine-dependent and gate only under -strict-time.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"chopper/api"
+	"chopper/client"
+	"chopper/internal/loadgen"
+	"chopper/internal/service"
+)
+
+// ServiceBench is the measured serving-stack row of the report.
+type ServiceBench struct {
+	Requests      int     `json:"requests"`
+	Concurrency   int     `json:"concurrency"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	Retries429    int     `json:"retries_429"`
+	Dropped       int     `json:"dropped"`
+	TrainRuns     int     `json:"train_runs"`
+}
+
+// measureService boots a daemon on an ephemeral port, trains the kmeans
+// profile once, then runs the mixed recommend/submit closed loop.
+func measureService(short bool) (ServiceBench, error) {
+	requests, concurrency := 256, 32
+	if short {
+		requests, concurrency = 96, 16
+	}
+	sb := ServiceBench{Requests: requests, Concurrency: concurrency}
+
+	srv, err := service.New(service.Config{})
+	if err != nil {
+		return sb, err
+	}
+	ln, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return sb, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	cl := client.New(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	noRange := false
+	tr, err := cl.Train(ctx, api.TrainRequest{
+		Workload:      "kmeans",
+		Shrink:        24,
+		SizeFractions: []float64{0.5, 1.0},
+		Partitions:    []int{150, 300},
+		Range:         &noRange,
+	})
+	if err != nil {
+		return sb, fmt.Errorf("service bench train: %w", err)
+	}
+	sb.TrainRuns = tr.Runs
+
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Base:           base,
+		Concurrency:    concurrency,
+		Requests:       requests,
+		Workload:       "kmeans",
+		Shrink:         24,
+		SubmitFraction: 0.25,
+		NoRecord:       true,
+	})
+	if err != nil {
+		return sb, fmt.Errorf("service bench load: %w", err)
+	}
+	sb.ThroughputRPS = res.Throughput()
+	sb.P50Ms = res.Hist.Quantile(0.50) * 1e3
+	sb.P99Ms = res.Hist.Quantile(0.99) * 1e3
+	sb.MaxMs = res.Hist.Max() * 1e3
+	sb.Retries429 = res.Retries429
+	sb.Dropped = res.Dropped
+
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return sb, fmt.Errorf("service bench shutdown: %w", err)
+	}
+	if err := <-done; err != nil {
+		return sb, fmt.Errorf("service bench serve: %w", err)
+	}
+	fmt.Printf("  chopperd: %s\n", res)
+	return sb, nil
+}
+
+// compareService gates the service row: dropped requests fail always;
+// throughput regressions fail only under -strict-time.
+func compareService(cur, base ServiceBench, tol float64, strictTime bool) []string {
+	var violations []string
+	if cur.Requests > 0 && cur.Dropped > 0 {
+		violations = append(violations, fmt.Sprintf(
+			"service: %d of %d requests dropped under %d-way load (want 0)",
+			cur.Dropped, cur.Requests, cur.Concurrency))
+	}
+	if strictTime && base.ThroughputRPS > 0 && cur.ThroughputRPS < base.ThroughputRPS*(1-tol) {
+		violations = append(violations, fmt.Sprintf(
+			"service: throughput %.1f req/s below baseline %.1f by more than %.0f%% (-strict-time)",
+			cur.ThroughputRPS, base.ThroughputRPS, tol*100))
+	}
+	return violations
+}

@@ -1,0 +1,87 @@
+// Command chopperd is the CHOPPER tuning daemon: it owns a durable workload
+// profile store and serves tuning as a service over HTTP — submit jobs,
+// incremental training, recommend/explain reads, and ops endpoints
+// (/healthz, /metrics, /debug/pprof). See api for the endpoint map and
+// DESIGN.md §9 for the serving architecture.
+//
+// Usage:
+//
+//	chopperd [-addr 127.0.0.1:7077] [-store chopperd.db] [-workers N]
+//	         [-queue 128] [-shrink 12] [-job-timeout 5m] [-drain-timeout 30s]
+//	         [-no-sync]
+//
+// On SIGINT/SIGTERM the daemon drains: admission stops, in-flight jobs
+// finish, a final snapshot is written, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chopper/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "listen address (use :0 for an ephemeral port)")
+	store := flag.String("store", "chopperd.db", "durable profile store path (empty: in-memory only)")
+	workers := flag.Int("workers", 0, "job worker-pool size (0: max(2, NumCPU))")
+	queue := flag.Int("queue", 0, "admission queue depth (0: 128)")
+	shrink := flag.Int("shrink", 0, "default physical-dataset shrink factor (0: 12)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-request deadline (0: 5m)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline")
+	noSync := flag.Bool("no-sync", false, "skip fsync per journal append (faster, weaker durability)")
+	flag.Parse()
+
+	if err := run(*addr, *store, *workers, *queue, *shrink, *jobTimeout, *drainTimeout, *noSync); err != nil {
+		fmt.Fprintf(os.Stderr, "chopperd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, store string, workers, queue, shrink int, jobTimeout, drainTimeout time.Duration, noSync bool) error {
+	syncAppends := !noSync
+	srv, err := service.New(service.Config{
+		StorePath:   store,
+		Workers:     workers,
+		QueueDepth:  queue,
+		Shrink:      shrink,
+		JobTimeout:  jobTimeout,
+		SyncAppends: &syncAppends,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	// The announce line is machine-parsed (chopperload -smoke); keep the
+	// prefix stable.
+	fmt.Printf("chopperd: listening on http://%s\n", ln.Addr())
+	if store != "" {
+		fmt.Printf("chopperd: profile store at %s\n", store)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Printf("chopperd: %v received, draining (deadline %s)\n", sig, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "chopperd: shutdown: %v\n", err)
+		}
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		return err
+	}
+	fmt.Println("chopperd: drained, snapshot written, bye")
+	return nil
+}

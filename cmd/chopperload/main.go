@@ -1,0 +1,101 @@
+// Command chopperload is the closed-loop load generator for chopperd, plus
+// the end-to-end smoke harness CI runs.
+//
+// Load-generation mode (default) drives a running daemon with a mixed
+// recommend/submit workload and prints a latency/throughput summary:
+//
+//	chopperload -addr http://127.0.0.1:7077 -n 256 -c 16 -submit-frac 0.25
+//
+// Smoke mode spawns its own daemon from a chopperd binary and walks the
+// full lifecycle — train, concurrent mixed burst with zero drops, recommend,
+// SIGKILL + restart with byte-identical recommend (journal replay), clean
+// SIGTERM drain with an in-flight job, restart from the final snapshot:
+//
+//	chopperload -smoke -chopperd ./chopperd
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chopper/api"
+	"chopper/client"
+	"chopper/internal/loadgen"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7077", "chopperd base URL")
+	n := flag.Int("n", 64, "total request budget")
+	c := flag.Int("c", 8, "closed-loop concurrency")
+	workload := flag.String("workload", "kmeans", "workload to exercise")
+	inputBytes := flag.Int64("bytes", 0, "logical input size override")
+	shrink := flag.Int("shrink", 0, "physical shrink factor for submits")
+	submitFrac := flag.Float64("submit-frac", 0.25, "fraction of submit (vs recommend) requests")
+	tuned := flag.Bool("tuned", false, "submit jobs under the CHOPPER configuration")
+	noRecord := flag.Bool("no-record", false, "do not fold submits into the profile store")
+	train := flag.Bool("train", false, "run a small training pass before the load")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall run deadline")
+	smoke := flag.Bool("smoke", false, "run the end-to-end smoke harness instead of a plain load")
+	chopperd := flag.String("chopperd", "", "path to the chopperd binary (smoke mode)")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if *smoke {
+		if err := runSmoke(ctx, *chopperd); err != nil {
+			fmt.Fprintf(os.Stderr, "chopperload: smoke FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("chopperload: smoke PASSED")
+		return
+	}
+	if err := runLoad(ctx, *addr, *n, *c, *workload, *inputBytes, *shrink, *submitFrac, *tuned, *noRecord, *train); err != nil {
+		fmt.Fprintf(os.Stderr, "chopperload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runLoad(ctx context.Context, addr string, n, c int, workload string, inputBytes int64, shrink int, submitFrac float64, tuned, noRecord, train bool) error {
+	cl := client.New(addr)
+	if _, err := cl.Health(ctx); err != nil {
+		return fmt.Errorf("daemon not reachable at %s: %w", addr, err)
+	}
+	if train {
+		fmt.Printf("chopperload: training %s...\n", workload)
+		tr, err := cl.Train(ctx, api.TrainRequest{
+			Workload:      workload,
+			InputBytes:    inputBytes,
+			Shrink:        shrink,
+			SizeFractions: []float64{0.5, 1.0},
+			Partitions:    []int{150, 300},
+		})
+		if err != nil {
+			return fmt.Errorf("train: %w", err)
+		}
+		fmt.Printf("chopperload: trained %s: %d runs (%d total, %d samples)\n",
+			tr.Workload, tr.Runs, tr.TotalRuns, tr.TotalSamples)
+	}
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Base:           addr,
+		Concurrency:    c,
+		Requests:       n,
+		Workload:       workload,
+		InputBytes:     inputBytes,
+		Shrink:         shrink,
+		SubmitFraction: submitFrac,
+		Tuned:          tuned,
+		NoRecord:       noRecord,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("chopperload: " + res.String())
+	if res.Dropped > 0 {
+		return fmt.Errorf("%d requests dropped (first error: %s)", res.Dropped, res.FirstError)
+	}
+	return nil
+}

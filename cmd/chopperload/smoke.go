@@ -1,0 +1,263 @@
+package main
+
+// The smoke harness: spawns a real chopperd process and walks the daemon's
+// whole lifecycle, including the two durability paths — journal replay
+// after SIGKILL and snapshot load after a clean SIGTERM drain. CI runs this
+// as the chopperd gate (see ci.sh).
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"chopper/api"
+	"chopper/client"
+	"chopper/internal/loadgen"
+)
+
+// daemon is one spawned chopperd process.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string        // base URL parsed from the announce line
+	done chan error    // resolves when the process exits
+	out  *bytes.Buffer // captured stdout+stderr (diagnostics)
+}
+
+// startDaemon spawns binary with an ephemeral port and the given store
+// path, waits for the announce line, and confirms /healthz.
+func startDaemon(ctx context.Context, binary, store string) (*daemon, error) {
+	cmd := exec.CommandContext(ctx, binary, "-addr", "127.0.0.1:0", "-store", store)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	out := &bytes.Buffer{}
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", binary, err)
+	}
+	d := &daemon{cmd: cmd, done: make(chan error, 1), out: out}
+
+	addrc := make(chan string, 1)
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			out.WriteString(line + "\n")
+			if rest, ok := strings.CutPrefix(line, "chopperd: listening on "); ok {
+				select {
+				case addrc <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	go func() {
+		err := cmd.Wait()
+		<-scanDone
+		d.done <- err
+	}()
+
+	select {
+	case d.addr = <-addrc:
+	case err := <-d.done:
+		return nil, fmt.Errorf("chopperd exited before announcing: %v\n%s", err, out.String())
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, fmt.Errorf("chopperd did not announce within 30s\n%s", out.String())
+	}
+	cl := client.New(d.addr)
+	hctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	for {
+		if _, err := cl.Health(hctx); err == nil {
+			return d, nil
+		}
+		select {
+		case <-hctx.Done():
+			_ = cmd.Process.Kill()
+			return nil, fmt.Errorf("chopperd never became healthy\n%s", out.String())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// kill SIGKILLs the daemon (the crash in the crash-recovery check).
+func (d *daemon) kill() error {
+	if err := d.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-d.done // expected non-nil: the process was killed
+	return nil
+}
+
+// drain SIGTERMs the daemon and requires a clean (exit 0) drain.
+func (d *daemon) drain() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-d.done:
+		if err != nil {
+			return fmt.Errorf("drain exited non-zero: %v\n%s", err, d.out.String())
+		}
+		return nil
+	case <-time.After(60 * time.Second):
+		_ = d.cmd.Process.Kill()
+		return fmt.Errorf("drain did not finish within 60s\n%s", d.out.String())
+	}
+}
+
+// step logs one smoke phase.
+func step(format string, args ...any) {
+	fmt.Printf("chopperload: smoke: "+format+"\n", args...)
+}
+
+// runSmoke is the CI gate sequence.
+func runSmoke(ctx context.Context, binary string) error {
+	if binary == "" {
+		return fmt.Errorf("-smoke needs -chopperd <binary>")
+	}
+	dir, err := os.MkdirTemp("", "chopperd-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store := filepath.Join(dir, "profiles.db")
+	const workload = "kmeans"
+
+	step("starting chopperd (store %s)", store)
+	d, err := startDaemon(ctx, binary, store)
+	if err != nil {
+		return err
+	}
+	cl := client.New(d.addr)
+
+	// Train a small grid so recommend has observations to optimize from.
+	step("training %s", workload)
+	tr, err := cl.Train(ctx, api.TrainRequest{
+		Workload:      workload,
+		Shrink:        24,
+		SizeFractions: []float64{0.5, 1.0},
+		Partitions:    []int{150, 300},
+	})
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	step("trained: %d runs, %d samples", tr.TotalRuns, tr.TotalSamples)
+
+	// Concurrent mixed burst: 64 clients, zero drops allowed. Submits skip
+	// recording so the burst leaves the store deterministic for the
+	// byte-identity checks below.
+	step("burst: 128 requests at 64-way concurrency")
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Base:           d.addr,
+		Concurrency:    64,
+		Requests:       128,
+		Workload:       workload,
+		Shrink:         24,
+		SubmitFraction: 0.25,
+		NoRecord:       true,
+	})
+	if err != nil {
+		return fmt.Errorf("burst: %w", err)
+	}
+	step("burst: %s", res)
+	if res.Dropped > 0 {
+		return fmt.Errorf("burst dropped %d requests (first error: %s)", res.Dropped, res.FirstError)
+	}
+
+	r1, err := cl.RecommendRaw(ctx, workload, 0)
+	if err != nil {
+		return fmt.Errorf("recommend: %w", err)
+	}
+	h1, err := cl.Health(ctx)
+	if err != nil {
+		return err
+	}
+	if h1.JournalRecords == 0 {
+		return fmt.Errorf("no journal records after training — durability path inert")
+	}
+
+	// Crash recovery: SIGKILL (no snapshot) and restart; the journal alone
+	// must reproduce the exact recommendation.
+	step("SIGKILL and restart (journal replay)")
+	if err := d.kill(); err != nil {
+		return err
+	}
+	d, err = startDaemon(ctx, binary, store)
+	if err != nil {
+		return fmt.Errorf("restart after kill: %w", err)
+	}
+	cl = client.New(d.addr)
+	r2, err := cl.RecommendRaw(ctx, workload, 0)
+	if err != nil {
+		return fmt.Errorf("recommend after replay: %w", err)
+	}
+	if !bytes.Equal(r1, r2) {
+		return fmt.Errorf("recommend changed across SIGKILL restart:\nbefore: %s\nafter:  %s", r1, r2)
+	}
+	h2, err := cl.Health(ctx)
+	if err != nil {
+		return err
+	}
+	if h2.JournalRecords != h1.JournalRecords {
+		return fmt.Errorf("journal replay count %d != pre-crash %d", h2.JournalRecords, h1.JournalRecords)
+	}
+	step("replay ok: %d journal records, recommend byte-identical", h2.JournalRecords)
+
+	// Clean drain: SIGTERM with a job in flight; the job must complete and
+	// the process exit 0 with a final snapshot.
+	step("SIGTERM with an in-flight job (clean drain)")
+	subErr := make(chan error, 1)
+	go func() {
+		_, err := cl.Submit(ctx, api.SubmitRequest{Workload: workload, Shrink: 24, NoRecord: true})
+		subErr <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the job reach the daemon
+	if err := d.drain(); err != nil {
+		return err
+	}
+	if err := <-subErr; err != nil {
+		return fmt.Errorf("in-flight submit failed during drain: %w", err)
+	}
+	if fi, err := os.Stat(store); err != nil || fi.Size() == 0 {
+		return fmt.Errorf("no snapshot at %s after drain (err %v)", store, err)
+	}
+
+	// Snapshot path: restart once more; state now comes from the snapshot.
+	step("restart from snapshot")
+	d, err = startDaemon(ctx, binary, store)
+	if err != nil {
+		return fmt.Errorf("restart after drain: %w", err)
+	}
+	cl = client.New(d.addr)
+	r3, err := cl.RecommendRaw(ctx, workload, 0)
+	if err != nil {
+		return fmt.Errorf("recommend after snapshot restart: %w", err)
+	}
+	if !bytes.Equal(r1, r3) {
+		return fmt.Errorf("recommend changed across drain restart:\nbefore: %s\nafter:  %s", r1, r3)
+	}
+	h3, err := cl.Health(ctx)
+	if err != nil {
+		return err
+	}
+	if h3.JournalRecords != 0 {
+		return fmt.Errorf("journal not truncated by snapshot: %d records", h3.JournalRecords)
+	}
+	if err := d.drain(); err != nil {
+		return err
+	}
+	step("snapshot ok: recommend byte-identical, journal empty")
+	return nil
+}

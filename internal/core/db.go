@@ -53,8 +53,18 @@ type WorkloadData struct {
 // DB is CHOPPER's workload database (paper Fig. 5, "Workload DB"): observed
 // input sizes, stage structure, task counts and runtime statistics, keyed by
 // workload and stage signature.
+//
+// Locking contract: a DB is safe for concurrent use by multiple goroutines.
+// AddRun is the only mutator and takes the write lock; every accessor takes
+// the read lock and returns data the caller owns — Nodes deep-copies the
+// stage nodes and SamplesFor copies the sample slice, so no caller ever
+// holds a reference into live DB state (copy-on-read). Long read-mostly
+// pipelines (the optimizer behind a recommend endpoint) should take one
+// CloneWorkload snapshot up front and run lock-free on the clone, so they
+// never block behind — or are blocked by — concurrent training writes.
 type DB struct {
-	mu        sync.Mutex
+	mu        sync.RWMutex
+	observer  func(workload string, workloadInputBytes float64, obs []StageObservation)
 	Workloads map[string]*WorkloadData `json:"workloads"`
 }
 
@@ -72,24 +82,37 @@ func (db *DB) workload(name string) *WorkloadData {
 	return wd
 }
 
-// StageObservation is one stage execution reported by the recorder.
+// StageObservation is one stage execution reported by the recorder. The
+// JSON tags pin the journal's on-disk record format (core.Store).
 type StageObservation struct {
-	Signature   string
-	Name        string
-	ParentSigs  []string
-	Fixed       bool
-	IsJoinLike  bool
-	IsResult    bool
-	Partitioner string  // scheme name used ("hash", "range", "input")
-	PinKey      string  // partition-dependency group
-	D           float64 // stage input bytes (source + cache + shuffle read)
-	P           float64 // partition count
-	Texe        float64
-	Sshuffle    float64
-	IsDefault   bool // observed under the default configuration
+	Signature   string   `json:"sig"`
+	Name        string   `json:"name,omitempty"`
+	ParentSigs  []string `json:"parents,omitempty"`
+	Fixed       bool     `json:"fixed,omitempty"`
+	IsJoinLike  bool     `json:"join,omitempty"`
+	IsResult    bool     `json:"result,omitempty"`
+	Partitioner string   `json:"part"` // scheme name used ("hash", "range", "input")
+	PinKey      string   `json:"pinKey,omitempty"` // partition-dependency group
+	D           float64  `json:"d"` // stage input bytes (source + cache + shuffle read)
+	P           float64  `json:"p"` // partition count
+	Texe        float64  `json:"texe"`
+	Sshuffle    float64  `json:"sshuffle"`
+	IsDefault   bool     `json:"default,omitempty"` // observed under the default configuration
 }
 
-// AddRun merges one profiled run into the database.
+// SetObserver installs a hook invoked on every AddRun, while the write lock
+// is still held, with exactly the arguments that were applied — so the
+// observation order seen by the hook is the order the DB state was mutated
+// in (the property journal replay relies on). Install it once, before the
+// DB is shared across goroutines; the durable Store uses it to journal.
+func (db *DB) SetObserver(fn func(workload string, workloadInputBytes float64, obs []StageObservation)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.observer = fn
+}
+
+// AddRun merges one profiled run into the database. It is the DB's only
+// mutator and takes the write lock for the whole merge.
 func (db *DB) AddRun(workload string, workloadInputBytes float64, obs []StageObservation) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -126,6 +149,9 @@ func (db *DB) AddRun(workload string, workloadInputBytes float64, obs []StageObs
 			D: o.D, P: o.P, Texe: o.Texe, Sshuffle: o.Sshuffle,
 		})
 	}
+	if db.observer != nil {
+		db.observer(workload, workloadInputBytes, obs)
+	}
 }
 
 func (wd *WorkloadData) node(sig string) *StageNode {
@@ -152,22 +178,34 @@ func mergeSigs(into, add []string) []string {
 }
 
 // Nodes returns the stage nodes of a workload in first-appearance order.
+// The nodes are deep copies: AddRun mutates node fields in place, so
+// handing out the live pointers would race with concurrent training.
 func (db *DB) Nodes(workload string) []*StageNode {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	wd, ok := db.Workloads[workload]
 	if !ok {
 		return nil
 	}
 	out := make([]*StageNode, len(wd.Nodes))
-	copy(out, wd.Nodes)
+	for i, n := range wd.Nodes {
+		out[i] = n.clone()
+	}
 	return out
 }
 
-// SamplesFor returns the observations of (workload, signature, scheme).
+// clone returns an independent copy of the node.
+func (n *StageNode) clone() *StageNode {
+	c := *n
+	c.ParentSigs = append([]string(nil), n.ParentSigs...)
+	return &c
+}
+
+// SamplesFor returns a copy of the observations of (workload, signature,
+// scheme); the caller owns the returned slice.
 func (db *DB) SamplesFor(workload, sig, scheme string) []model.Sample {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	wd, ok := db.Workloads[workload]
 	if !ok {
 		return nil
@@ -176,13 +214,17 @@ func (db *DB) SamplesFor(workload, sig, scheme string) []model.Sample {
 	if !ok {
 		return nil
 	}
-	return bySig[scheme]
+	ss, ok := bySig[scheme]
+	if !ok {
+		return nil
+	}
+	return append([]model.Sample(nil), ss...)
 }
 
 // Schemes lists the partitioner schemes with observations for a stage.
 func (db *DB) Schemes(workload, sig string) []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	wd, ok := db.Workloads[workload]
 	if !ok {
 		return nil
@@ -198,8 +240,8 @@ func (db *DB) Schemes(workload, sig string) []string {
 
 // RunCount reports how many profiled executions the workload has.
 func (db *DB) RunCount(workload string) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	wd, ok := db.Workloads[workload]
 	if !ok {
 		return 0
@@ -210,8 +252,8 @@ func (db *DB) RunCount(workload string) int {
 // OccurrencesPerRun estimates how many times the stage with the given
 // signature executes in one workload run.
 func (db *DB) OccurrencesPerRun(workload, sig string) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	wd, ok := db.Workloads[workload]
 	if !ok || wd.Runs == 0 {
 		return 1
@@ -229,8 +271,8 @@ func (db *DB) OccurrencesPerRun(workload, sig string) int {
 
 // SampleCount reports the total observation count for a workload.
 func (db *DB) SampleCount(workload string) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	wd, ok := db.Workloads[workload]
 	if !ok {
 		return 0
@@ -244,13 +286,62 @@ func (db *DB) SampleCount(workload string) int {
 	return n
 }
 
-// Save persists the database as JSON.
-func (db *DB) Save(path string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+// CloneWorkload returns a new DB holding an independent deep copy of one
+// workload's data (empty if the workload is unknown). It holds the read
+// lock only for the copy; the returned DB is private to the caller, so
+// running the optimizer over it never contends with concurrent AddRun
+// writers — the copy-on-read snapshot behind the recommend endpoints.
+func (db *DB) CloneWorkload(workload string) *DB {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := NewDB()
+	wd, ok := db.Workloads[workload]
+	if !ok {
+		return out
+	}
+	out.Workloads[workload] = wd.clone()
+	return out
+}
+
+// clone returns an independent deep copy of the workload data.
+func (wd *WorkloadData) clone() *WorkloadData {
+	c := &WorkloadData{
+		Nodes:   make([]*StageNode, len(wd.Nodes)),
+		Samples: make(map[string]map[string][]model.Sample, len(wd.Samples)),
+		Runs:    wd.Runs,
+	}
+	for i, n := range wd.Nodes {
+		c.Nodes[i] = n.clone()
+	}
+	for sig, bySig := range wd.Samples {
+		m := make(map[string][]model.Sample, len(bySig))
+		for scheme, ss := range bySig {
+			cp := make([]model.Sample, len(ss))
+			copy(cp, ss)
+			m[scheme] = cp
+		}
+		c.Samples[sig] = m
+	}
+	return c
+}
+
+// MarshalSnapshot renders the database as the snapshot JSON Save writes,
+// holding the read lock only while marshaling.
+func (db *DB) MarshalSnapshot() ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	data, err := json.MarshalIndent(db, "", "  ")
 	if err != nil {
-		return fmt.Errorf("core: marshal db: %w", err)
+		return nil, fmt.Errorf("core: marshal db: %w", err)
+	}
+	return data, nil
+}
+
+// Save persists the database as JSON.
+func (db *DB) Save(path string) error {
+	data, err := db.MarshalSnapshot()
+	if err != nil {
+		return err
 	}
 	return os.WriteFile(path, data, 0o644)
 }

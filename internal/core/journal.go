@@ -1,0 +1,240 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is the durable persistence layer for a DB: an atomic snapshot plus
+// an append-only journal of AddRun observations.
+//
+// Layout: the snapshot lives at the base path (the JSON Save writes) and
+// the journal at base+".journal", one JSON record per line. Recovery =
+// load the snapshot (if any), then replay journal records in order; since
+// the DB invokes its observer while the write lock is held, the journal
+// order equals the mutation order and replay rebuilds the exact same DB
+// state — including float accumulations like StageNode.InputFraction,
+// which are order-sensitive.
+//
+// Snapshot writes are atomic (temp file + fsync + rename) and truncate the
+// journal afterwards, so a crash at any point leaves either the old
+// snapshot + full journal or the new snapshot + empty journal.
+type Store struct {
+	mu       sync.Mutex
+	base     string
+	journal  *os.File
+	w        *bufio.Writer
+	appended int
+	replayed int
+	closed   bool
+
+	// SyncAppends controls whether every Append fsyncs the journal
+	// (default true: an acknowledged write survives a crash).
+	SyncAppends bool
+}
+
+// journalRecord is one journaled AddRun.
+type journalRecord struct {
+	Workload   string             `json:"workload"`
+	InputBytes float64            `json:"inputBytes"`
+	Obs        []StageObservation `json:"obs"`
+}
+
+// OpenStore opens (or creates) the store at base, loads the snapshot if one
+// exists, replays the journal into it, and returns the recovered DB. The
+// returned DB does not yet journal new writes — call Attach to wire the
+// store in as the DB's observer once recovery state has been inspected.
+func OpenStore(base string) (*Store, *DB, error) {
+	if base == "" {
+		return nil, nil, fmt.Errorf("core: store: empty base path")
+	}
+	db, err := LoadDB(base)
+	if errors.Is(err, fs.ErrNotExist) {
+		db, err = NewDB(), nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: store: load snapshot: %w", err)
+	}
+	st := &Store{base: base, SyncAppends: true}
+	if st.replayed, err = replayJournal(st.journalPath(), db); err != nil {
+		return nil, nil, err
+	}
+	st.journal, err = os.OpenFile(st.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: store: open journal: %w", err)
+	}
+	st.w = bufio.NewWriter(st.journal)
+	return st, db, nil
+}
+
+// journalPath is the journal file derived from the snapshot base path.
+func (s *Store) journalPath() string { return s.base + ".journal" }
+
+// replayJournal applies every complete journal record to db. A malformed
+// final line — the torn tail of a crashed append — ends the replay without
+// error; a malformed line with records after it is corruption and fails.
+func replayJournal(path string, db *DB) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("core: store: open journal: %w", err)
+	}
+	defer func() { _ = f.Close() }() // read-only; nothing to flush
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	n, torn := 0, false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if torn {
+				return n, fmt.Errorf("core: store: journal corrupt beyond torn tail: %w", err)
+			}
+			torn = true
+			continue
+		}
+		if torn {
+			return n, fmt.Errorf("core: store: journal has a record after a torn line")
+		}
+		db.AddRun(rec.Workload, rec.InputBytes, rec.Obs)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("core: store: read journal: %w", err)
+	}
+	return n, nil
+}
+
+// Attach installs the store as db's AddRun observer, so every subsequent
+// write is journaled in mutation order.
+func (s *Store) Attach(db *DB) {
+	db.SetObserver(func(workload string, inputBytes float64, obs []StageObservation) {
+		if err := s.Append(workload, inputBytes, obs); err != nil {
+			// The DB mutation has already happened; losing the journal
+			// record silently would desynchronize replay, so fail loudly.
+			panic(fmt.Sprintf("core: store: journal append failed: %v", err))
+		}
+	})
+}
+
+// Append journals one AddRun. Safe for concurrent use; the write (and the
+// fsync, when SyncAppends is set) completes before Append returns.
+func (s *Store) Append(workload string, inputBytes float64, obs []StageObservation) error {
+	data, err := json.Marshal(journalRecord{Workload: workload, InputBytes: inputBytes, Obs: obs})
+	if err != nil {
+		return fmt.Errorf("core: store: marshal journal record: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("core: store: append after close")
+	}
+	if _, err := s.w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("core: store: write journal: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("core: store: flush journal: %w", err)
+	}
+	if s.SyncAppends {
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("core: store: sync journal: %w", err)
+		}
+	}
+	s.appended++
+	return nil
+}
+
+// Snapshot atomically persists db at the base path and truncates the
+// journal: temp file, fsync, rename, then a fresh empty journal.
+func (s *Store) Snapshot(db *DB) error {
+	data, err := db.MarshalSnapshot()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("core: store: snapshot after close")
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(s.base), filepath.Base(s.base)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: store: snapshot temp: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if werr != nil {
+		_ = tmp.Close() // the write already failed; surface that error
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("core: store: write snapshot: %w", werr)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("core: store: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.base); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("core: store: publish snapshot: %w", err)
+	}
+	// The snapshot now covers everything journaled; start a fresh journal.
+	if err := s.journal.Close(); err != nil {
+		return fmt.Errorf("core: store: close journal: %w", err)
+	}
+	s.journal, err = os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("core: store: reset journal: %w", err)
+	}
+	s.w = bufio.NewWriter(s.journal)
+	s.appended, s.replayed = 0, 0
+	return nil
+}
+
+// JournalRecords reports the records currently covered only by the journal:
+// those replayed at open plus those appended since the last snapshot.
+func (s *Store) JournalRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replayed + s.appended
+}
+
+// SnapshotPath reports the snapshot file path.
+func (s *Store) SnapshotPath() string { return s.base }
+
+// Close flushes and closes the journal. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if ferr := s.w.Flush(); ferr != nil {
+		err = ferr
+	}
+	if serr := s.journal.Sync(); serr != nil && err == nil {
+		err = serr
+	}
+	if cerr := s.journal.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("core: store: close: %w", err)
+	}
+	return nil
+}
+
+var _ io.Closer = (*Store)(nil)

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// storeAt opens a store at a fresh base under dir and attaches it to the
+// recovered DB.
+func storeAt(t *testing.T, base string) (*Store, *DB) {
+	t.Helper()
+	st, db, err := OpenStore(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Attach(db)
+	return st, db
+}
+
+func TestStoreJournalReplay(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "chopperd.db")
+	st, db := storeAt(t, base)
+	for i := 0; i < 7; i++ {
+		db.AddRun("wl", 1e9, raceObs(i))
+	}
+	// Simulated crash: no Snapshot, just drop the store on the floor after
+	// the appends (Close only flushes; appends are already synced).
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(base); !os.IsNotExist(err) {
+		t.Fatalf("snapshot written without Snapshot call: %v", err)
+	}
+
+	st2, db2 := storeAt(t, base)
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if got := st2.JournalRecords(); got != 7 {
+		t.Fatalf("JournalRecords = %d, want 7", got)
+	}
+	if got, want := db2.SampleCount("wl"), db.SampleCount("wl"); got != want {
+		t.Fatalf("replayed SampleCount = %d, want %d", got, want)
+	}
+	if !reflect.DeepEqual(db2.Nodes("wl"), db.Nodes("wl")) {
+		t.Fatal("replayed nodes differ from originals")
+	}
+	if !reflect.DeepEqual(db2.SamplesFor("wl", "stage-a", "hash"), db.SamplesFor("wl", "stage-a", "hash")) {
+		t.Fatal("replayed samples differ from originals")
+	}
+}
+
+func TestStoreSnapshotTruncatesJournal(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "chopperd.db")
+	st, db := storeAt(t, base)
+	for i := 0; i < 3; i++ {
+		db.AddRun("wl", 1e9, raceObs(i))
+	}
+	if err := st.Snapshot(db); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.JournalRecords(); got != 0 {
+		t.Fatalf("JournalRecords after snapshot = %d, want 0", got)
+	}
+	// Post-snapshot writes land in the fresh journal.
+	db.AddRun("wl", 1e9, raceObs(3))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, db2 := storeAt(t, base)
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if got := st2.JournalRecords(); got != 1 {
+		t.Fatalf("JournalRecords = %d, want 1", got)
+	}
+	if got, want := db2.SampleCount("wl"), db.SampleCount("wl"); got != want {
+		t.Fatalf("recovered SampleCount = %d, want %d", got, want)
+	}
+}
+
+func TestStoreTornTailIgnored(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "chopperd.db")
+	st, db := storeAt(t, base)
+	db.AddRun("wl", 1e9, raceObs(0))
+	db.AddRun("wl", 1e9, raceObs(1))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-write, crash-style.
+	jp := base + ".journal"
+	data, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jp, data[:len(data)-25], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, db2 := storeAt(t, base)
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if got := st2.JournalRecords(); got != 1 {
+		t.Fatalf("JournalRecords = %d, want 1 (torn tail dropped)", got)
+	}
+	if got := db2.RunCount("wl"); got != 1 {
+		t.Fatalf("RunCount = %d, want 1", got)
+	}
+}
+
+func TestStoreSnapshotAtomicPublish(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "chopperd.db")
+	st, db := storeAt(t, base)
+	db.AddRun("wl", 1e9, raceObs(0))
+	if err := st.Snapshot(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if name := e.Name(); name != filepath.Base(base) && name != filepath.Base(base)+".journal" {
+			t.Fatalf("stray file after snapshot: %s", name)
+		}
+	}
+	// And the snapshot alone is loadable.
+	loaded, err := LoadDB(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.SampleCount("wl"), db.SampleCount("wl"); got != want {
+		t.Fatalf("loaded SampleCount = %d, want %d", got, want)
+	}
+}

@@ -9,12 +9,14 @@ import (
 )
 
 // ctxLeakPackages are the packages whose goroutines must be barriered: the
-// execution engine's compute pool. A task goroutine that outlives its
-// stage barrier keeps mutating wave state after the scheduler has moved
-// on, which breaks the simulator's determinism guarantee far from the
-// spawn site.
+// execution engine's compute pool, and chopperd's job worker pool. A task
+// goroutine that outlives its stage barrier keeps mutating wave state after
+// the scheduler has moved on, which breaks the simulator's determinism
+// guarantee far from the spawn site; a service goroutine that outlives the
+// drain barrier keeps mutating the profile DB after the final snapshot.
 var ctxLeakPackages = []string{
 	"chopper/internal/exec",
+	"chopper/internal/service",
 }
 
 // CtxLeak verifies, flow-sensitively, that every goroutine spawned in the

@@ -10,9 +10,12 @@ import (
 // sharedEscapePkgs are the packages whose goroutine pools execute task bodies
 // concurrently; shared state written there without a lock corrupts results
 // silently (the engine's determinism tests only catch it when the race
-// happens to change a timing).
+// happens to change a timing). chopperd's worker pool is held to the same
+// rule: its workers may only touch job-local state, channels, and the
+// lock-guarded DB/metrics APIs.
 var sharedEscapePkgs = []string{
 	"chopper/internal/exec",
+	"chopper/internal/service",
 }
 
 // SharedEscape flags writes to escaped shared state reachable from compute-

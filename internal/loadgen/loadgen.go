@@ -1,0 +1,215 @@
+// Package loadgen is chopperd's closed-loop load generator: a fixed set of
+// workers each keeps exactly one request in flight, drawing a deterministic
+// mix of recommend and submit traffic, honoring admission control (429 +
+// Retry-After) with bounded retries, and recording latencies in a shared
+// histogram. cmd/chopperload drives it from the command line; chopperbench
+// uses it to measure service throughput.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chopper/api"
+	"chopper/client"
+	"chopper/internal/metrics"
+)
+
+// Config shapes one load-generation run.
+type Config struct {
+	// Base is the daemon's root URL.
+	Base string
+	// Concurrency is the closed-loop worker count (default 8).
+	Concurrency int
+	// Requests is the total request budget across workers (default 64).
+	Requests int
+	// Workload names the built-in workload to exercise (default "kmeans").
+	Workload string
+	// InputBytes overrides the workload's logical input size (0: default).
+	InputBytes int64
+	// Shrink forwards the physical-shrink factor on submits (0: server
+	// default).
+	Shrink int
+	// SubmitFraction is the fraction of requests that are submit jobs; the
+	// rest are recommend reads (default 0.25).
+	SubmitFraction float64
+	// Tuned submits jobs under the CHOPPER configuration.
+	Tuned bool
+	// NoRecord stops submits from mutating the profile store.
+	NoRecord bool
+	// MaxRetries bounds per-request retries on 429 (default 64).
+	MaxRetries int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 64
+	}
+	if c.Workload == "" {
+		c.Workload = "kmeans"
+	}
+	if c.SubmitFraction < 0 || c.SubmitFraction > 1 {
+		c.SubmitFraction = 0.25
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 64
+	}
+	return c
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Requests is the number issued; Submits + Recommends == Requests.
+	Requests   int
+	Submits    int
+	Recommends int
+	// Retries429 counts admission rejections that were retried.
+	Retries429 int
+	// Dropped counts requests that never succeeded (errors or retry
+	// exhaustion); FirstError carries the first failure seen.
+	Dropped    int
+	FirstError string
+	// Elapsed is the wall-clock run time in seconds; Hist holds per-request
+	// latencies (successful requests only).
+	Elapsed float64
+	Hist    *metrics.Histogram
+}
+
+// Throughput reports successful requests per wall-clock second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests-r.Dropped) / r.Elapsed
+}
+
+// String renders the one-line summary chopperload prints.
+func (r *Result) String() string {
+	return fmt.Sprintf("%d requests (%d submit / %d recommend) in %.2fs: %.1f req/s, p50 %.1fms p99 %.1fms max %.1fms, %d retries, %d dropped",
+		r.Requests, r.Submits, r.Recommends, r.Elapsed, r.Throughput(),
+		r.Hist.Quantile(0.50)*1e3, r.Hist.Quantile(0.99)*1e3, r.Hist.Max()*1e3,
+		r.Retries429, r.Dropped)
+}
+
+// workerStats is one worker's private tally, merged after the run so the
+// hot path shares nothing but the latency histogram (which locks itself).
+type workerStats struct {
+	requests   int
+	submits    int
+	recommends int
+	retries429 int
+	dropped    int
+	firstErr   string
+}
+
+// mixDraw maps (worker, ticket) to a deterministic pseudo-uniform in [0, 1)
+// so the submit/recommend mix is reproducible across runs.
+func mixDraw(worker int, ticket int64) float64 {
+	x := uint64(worker+1)*0x9e3779b97f4a7c15 + uint64(ticket)*0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	x ^= x >> 29
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Run executes the closed loop until the request budget is spent or ctx is
+// canceled. It returns the merged result; a nil error means the run itself
+// completed (individual request failures are reported in Result.Dropped).
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	cl := client.New(cfg.Base)
+	hist := metrics.NewHistogram()
+	stats := make([]workerStats, cfg.Concurrency)
+	var tickets atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func(ws *workerStats, worker int) {
+			defer wg.Done()
+			for {
+				t := tickets.Add(1)
+				if t > int64(cfg.Requests) || ctx.Err() != nil {
+					return
+				}
+				isSubmit := mixDraw(worker, t) < cfg.SubmitFraction
+				ws.requests++
+				if isSubmit {
+					ws.submits++
+				} else {
+					ws.recommends++
+				}
+				t0 := time.Now()
+				err := oneRequest(ctx, cl, cfg, isSubmit, ws)
+				if err != nil {
+					ws.dropped++
+					if ws.firstErr == "" {
+						ws.firstErr = err.Error()
+					}
+					continue
+				}
+				hist.Observe(time.Since(t0).Seconds())
+			}
+		}(&stats[i], i)
+	}
+	wg.Wait()
+	res := &Result{Elapsed: time.Since(start).Seconds(), Hist: hist}
+	for i := range stats {
+		ws := &stats[i]
+		res.Requests += ws.requests
+		res.Submits += ws.submits
+		res.Recommends += ws.recommends
+		res.Retries429 += ws.retries429
+		res.Dropped += ws.dropped
+		if res.FirstError == "" {
+			res.FirstError = ws.firstErr
+		}
+	}
+	return res, ctx.Err()
+}
+
+// oneRequest issues a single request, retrying admission rejections with
+// the server's Retry-After hint.
+func oneRequest(ctx context.Context, cl *client.Client, cfg Config, isSubmit bool, ws *workerStats) error {
+	var lastErr error
+	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+		var err error
+		if isSubmit {
+			_, err = cl.Submit(ctx, api.SubmitRequest{
+				Workload:   cfg.Workload,
+				InputBytes: cfg.InputBytes,
+				Shrink:     cfg.Shrink,
+				Tuned:      cfg.Tuned,
+				NoRecord:   cfg.NoRecord,
+			})
+		} else {
+			_, err = cl.Recommend(ctx, cfg.Workload, cfg.InputBytes)
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		ae, ok := err.(*client.APIError)
+		if !ok || ae.Status != 429 {
+			return err
+		}
+		ws.retries429++
+		backoff := ae.RetryAfter
+		if backoff <= 0 {
+			backoff = 50 * time.Millisecond
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return fmt.Errorf("loadgen: retries exhausted: %w", lastErr)
+}

@@ -1,13 +1,17 @@
 // Package profiling wraps runtime/pprof for the command-line tools: both
 // cmd/experiments and cmd/chopperbench expose -cpuprofile/-memprofile flags
-// through these two helpers.
+// through these two helpers, and chopperd mounts the live pprof endpoints
+// via AttachPprof.
 package profiling
 
 import (
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 )
 
 // StartCPU begins a CPU profile written to path and returns a stop function.
@@ -50,4 +54,16 @@ func WriteHeap(path string) error {
 		return fmt.Errorf("profiling: close mem profile: %w", err)
 	}
 	return nil
+}
+
+// AttachPprof mounts the standard pprof handlers under prefix (normally
+// "/debug/pprof") on mux, without touching http.DefaultServeMux — the
+// reason this avoids the net/http/pprof import-for-side-effect idiom.
+func AttachPprof(mux *http.ServeMux, prefix string) {
+	prefix = strings.TrimSuffix(prefix, "/")
+	mux.HandleFunc(prefix+"/", httppprof.Index)
+	mux.HandleFunc(prefix+"/cmdline", httppprof.Cmdline)
+	mux.HandleFunc(prefix+"/profile", httppprof.Profile)
+	mux.HandleFunc(prefix+"/symbol", httppprof.Symbol)
+	mux.HandleFunc(prefix+"/trace", httppprof.Trace)
 }

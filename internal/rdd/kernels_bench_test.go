@@ -8,7 +8,7 @@ import (
 // Benchmarks of the shuffle/combine kernels — the data-path functions every
 // map and reduce task runs once per partition. cmd/chopperbench runs these
 // same shapes through testing.Benchmark and gates allocs/op against the
-// committed BENCH_4.json baseline.
+// committed BENCH_5.json baseline.
 
 // benchIntPairs builds rows keyed by int with a skew-free key cycle.
 func benchIntPairs(n, keys int) []Row {

@@ -1,0 +1,264 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"chopper/api"
+	"chopper/internal/profiling"
+	"chopper/internal/workloads"
+)
+
+// httpError carries an HTTP status through the job layer to the handler.
+type httpError struct {
+	status int
+	msg    string
+}
+
+// Error implements error.
+func (e *httpError) Error() string { return e.msg }
+
+// httpErrf builds an httpError.
+func httpErrf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusWriter records the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// routes wires every endpoint family onto the mux.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleSubmit))
+	s.mux.HandleFunc("POST /v1/train", s.instrument("/v1/train", s.handleTrain))
+	s.mux.HandleFunc("GET /v1/recommend", s.instrument("/v1/recommend", s.handleRecommend))
+	s.mux.HandleFunc("GET /v1/explain", s.instrument("/v1/explain", s.handleExplain))
+	s.mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	profiling.AttachPprof(s.mux, "/debug/pprof")
+}
+
+// instrument wraps a handler with the request counter and latency histogram,
+// labeled by route and response code.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.reg.Counter("chopperd_http_requests_total", "HTTP requests by route and status",
+			"path="+path, "code="+strconv.Itoa(sw.code)).Inc()
+		s.reg.Histogram("chopperd_http_seconds", "HTTP request latency by route",
+			"path="+path).Observe(time.Since(start).Seconds())
+	}
+}
+
+// writeJSON renders v with a status code.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The client is gone if this fails; nothing useful to do with the error.
+	_ = enc.Encode(v)
+}
+
+// writeError renders err as the api.Error body, mapping admission and job
+// errors to their statuses (429 carries Retry-After).
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	body := api.Error{Status: http.StatusInternalServerError, Error: err.Error()}
+	switch e := err.(type) {
+	case *httpError:
+		body.Status = e.status
+	default:
+		switch {
+		case err == errQueueFull:
+			body.Status = http.StatusTooManyRequests
+		case err == errDraining:
+			body.Status = http.StatusServiceUnavailable
+		case r.Context().Err() != nil:
+			body.Status = http.StatusGatewayTimeout
+		}
+	}
+	if body.Status == http.StatusTooManyRequests {
+		secs := math.Ceil(s.cfg.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(secs)))
+		body.RetryAfterSeconds = secs
+	}
+	s.writeJSON(w, body.Status, body)
+}
+
+// runJob admits fn to the worker pool under the request deadline and waits
+// for its result, mapping queue-full, draining, and timeout outcomes.
+func (s *Server) runJob(w http.ResponseWriter, r *http.Request, timeoutSeconds float64, fn func(ctx context.Context) (any, error)) (any, bool) {
+	if s.draining.Load() {
+		s.writeError(w, r, errDraining)
+		return nil, false
+	}
+	d := s.cfg.JobTimeout
+	if timeoutSeconds > 0 {
+		d = time.Duration(timeoutSeconds * float64(time.Second))
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	j := newJob(ctx, fn)
+	if err := s.pool.submit(j); err != nil {
+		s.writeError(w, r, err)
+		return nil, false
+	}
+	select {
+	case res := <-j.done:
+		if res.err != nil {
+			s.writeError(w, r, res.err)
+			return nil, false
+		}
+		return res.v, true
+	case <-ctx.Done():
+		// The worker will still drain the job; its result lands in the
+		// buffered done channel and is dropped.
+		s.writeError(w, r, httpErrf(http.StatusGatewayTimeout, "service: job deadline exceeded: %v", ctx.Err()))
+		return nil, false
+	}
+}
+
+// handleSubmit runs one workload job through a pooled session.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, r, httpErrf(http.StatusBadRequest, "service: bad submit body: %v", err))
+		return
+	}
+	v, ok := s.runJob(w, r, req.TimeoutSeconds, func(ctx context.Context) (any, error) {
+		return s.runSubmit(ctx, req)
+	})
+	if ok {
+		s.writeJSON(w, http.StatusOK, v)
+	}
+}
+
+// handleTrain runs incremental profiling for one workload.
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req api.TrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, r, httpErrf(http.StatusBadRequest, "service: bad train body: %v", err))
+		return
+	}
+	v, ok := s.runJob(w, r, req.TimeoutSeconds, func(ctx context.Context) (any, error) {
+		return s.runTrain(ctx, req)
+	})
+	if ok {
+		s.writeJSON(w, http.StatusOK, v)
+	}
+}
+
+// workloadParams parses the ?workload= and ?inputBytes= query parameters
+// shared by the read-only endpoints.
+func (s *Server) workloadParams(r *http.Request) (string, int64, error) {
+	name := r.URL.Query().Get("workload")
+	wl, err := workloads.ByName(name)
+	if err != nil {
+		return "", 0, httpErrf(http.StatusNotFound, "service: unknown workload %q", name)
+	}
+	bytes := wl.DefaultInputBytes()
+	if raw := r.URL.Query().Get("inputBytes"); raw != "" {
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || n <= 0 {
+			return "", 0, httpErrf(http.StatusBadRequest, "service: bad inputBytes %q", raw)
+		}
+		bytes = n
+	}
+	return name, bytes, nil
+}
+
+// handleRecommend answers the read-only tuning question. It runs entirely on
+// the handler goroutine against a copy-on-read DB snapshot — never through
+// the worker pool — so recommendations stay fast while training runs.
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	name, bytes, err := s.workloadParams(r)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	resp, err := s.recommend(name, bytes)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExplain renders the optimizer's per-stage reasoning as text.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	name, bytes, err := s.workloadParams(r)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	text, err := s.explain(name, bytes)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = fmt.Fprint(w, text)
+}
+
+// handleWorkloads lists the built-in workloads and their profile state.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	resp := api.WorkloadsResponse{}
+	for _, wl := range workloads.AllWithExtensions() {
+		name := wl.Name()
+		resp.Workloads = append(resp.Workloads, api.WorkloadInfo{
+			Name:              name,
+			DefaultInputBytes: wl.DefaultInputBytes(),
+			Runs:              s.db.RunCount(name),
+			Samples:           s.db.SampleCount(name),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz reports liveness and queue state.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := api.Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.pool.depth(),
+		QueueCap:      s.pool.cap(),
+		Draining:      s.draining.Load(),
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	if s.store != nil {
+		h.StorePath = s.store.SnapshotPath()
+		h.JournalRecords = s.store.JournalRecords()
+	}
+	s.writeJSON(w, http.StatusOK, h)
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		// Mid-stream failure: the client is gone; headers are already out.
+		return
+	}
+}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"context"
+	"net/http"
+
+	"chopper"
+	"chopper/api"
+	"chopper/internal/core"
+)
+
+// buildApp resolves a built-in workload and applies the request's shrink and
+// input-size overrides.
+func (s *Server) buildApp(workload string, inputBytes int64, shrink int) (*chopper.BuiltinApp, int64, error) {
+	app, err := chopper.Builtin(workload)
+	if err != nil {
+		return nil, 0, httpErrf(http.StatusNotFound, "service: unknown workload %q", workload)
+	}
+	if shrink <= 0 {
+		shrink = s.cfg.Shrink
+	}
+	app.Shrink(shrink)
+	bytes := app.InputBytes()
+	if inputBytes > 0 {
+		bytes = inputBytes
+		app.SetInputBytes(bytes)
+	}
+	return app, bytes, nil
+}
+
+// tunedConfig generates the CHOPPER configuration for a workload from a
+// copy-on-read snapshot of the shared DB, so the (potentially long)
+// optimizer pass never holds the DB lock.
+func (s *Server) tunedConfig(workload string, inputBytes int64) (*chopper.ConfigFile, error) {
+	o := core.NewOptimizer(s.db.CloneWorkload(workload))
+	cf, err := o.GenerateConfig(workload, float64(inputBytes))
+	if err != nil {
+		return nil, httpErrf(http.StatusConflict, "service: workload %q not trained: %v", workload, err)
+	}
+	return cf, nil
+}
+
+// schemeEntries converts a generated configuration to wire form.
+func schemeEntries(cf *chopper.ConfigFile) []api.SchemeEntry {
+	out := make([]api.SchemeEntry, 0, len(cf.Entries))
+	for _, e := range cf.Entries {
+		out = append(out, api.SchemeEntry{
+			Signature:         e.Signature,
+			Scheme:            string(e.Scheme),
+			NumPartitions:     e.NumPartitions,
+			InsertRepartition: e.InsertRepartition,
+		})
+	}
+	return out
+}
+
+// runSubmit executes one workload job on a worker: acquire a pooled
+// session (tuned or vanilla), run the pipeline, and — unless the request
+// opts out — fold the observed stage statistics back into the shared DB
+// (which also journals them through the store observer).
+func (s *Server) runSubmit(ctx context.Context, req api.SubmitRequest) (*api.SubmitResponse, error) {
+	app, bytes, err := s.buildApp(req.Workload, req.InputBytes, req.Shrink)
+	if err != nil {
+		return nil, err
+	}
+	resp := &api.SubmitResponse{Workload: req.Workload, Mode: "spark", InputBytes: bytes}
+	var extra []chopper.Option
+	if req.Tuned {
+		cf, err := s.tunedConfig(req.Workload, bytes)
+		if err != nil {
+			return nil, err
+		}
+		extra = append(extra, chopper.WithTuning(cf))
+		resp.Mode = "chopper"
+		resp.Schemes = schemeEntries(cf)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, httpErrf(http.StatusGatewayTimeout, "service: job canceled before run: %v", err)
+	}
+	sess := s.sessions.Acquire(extra...)
+	defer s.sessions.Release(sess)
+	if err := app.Run(sess, bytes); err != nil {
+		return nil, httpErrf(http.StatusInternalServerError, "service: %s run failed: %v", req.Workload, err)
+	}
+	if !req.NoRecord {
+		(&chopper.Tuner{DB: s.db}).Observe(sess, app, bytes)
+		resp.Recorded = true
+	}
+	resp.SimSeconds = sess.Elapsed()
+	resp.Checksum = app.LastResult["checksum"]
+	for _, st := range sess.Stages() {
+		resp.Stages = append(resp.Stages, api.StageResult{
+			ID:           st.ID,
+			Name:         st.Name,
+			Signature:    st.Signature,
+			Partitioner:  st.Partitioner,
+			Tasks:        st.NumTasks,
+			InputBytes:   st.InputBytes,
+			ShuffleRead:  st.ShuffleRead,
+			ShuffleWrite: st.ShuffleWrite,
+			Seconds:      st.Duration(),
+		})
+	}
+	return resp, nil
+}
+
+// runTrain executes incremental profiling on a worker: the trial grid runs
+// under the request context (cancellation stops between trials, keeping
+// completed runs), and every run folds into the shared DB.
+func (s *Server) runTrain(ctx context.Context, req api.TrainRequest) (*api.TrainResponse, error) {
+	app, _, err := s.buildApp(req.Workload, req.InputBytes, req.Shrink)
+	if err != nil {
+		return nil, err
+	}
+	plan := chopper.DefaultTrialPlan()
+	if len(req.SizeFractions) > 0 {
+		plan.SizeFractions = req.SizeFractions
+	}
+	if len(req.Partitions) > 0 {
+		plan.Partitions = req.Partitions
+	}
+	if req.Range != nil {
+		plan.Range = *req.Range
+	}
+	tuner := &chopper.Tuner{DB: s.db, Plan: plan, SessionOptions: s.cfg.SessionOptions}
+	before := s.db.RunCount(req.Workload)
+	if err := tuner.ProfileContext(ctx, app); err != nil {
+		return nil, httpErrf(http.StatusGatewayTimeout, "service: training %s stopped: %v", req.Workload, err)
+	}
+	return &api.TrainResponse{
+		Workload:     req.Workload,
+		Runs:         s.db.RunCount(req.Workload) - before,
+		TotalRuns:    s.db.RunCount(req.Workload),
+		TotalSamples: s.db.SampleCount(req.Workload),
+	}, nil
+}
+
+// recommend answers the read-only tuning question from a DB snapshot.
+func (s *Server) recommend(workload string, inputBytes int64) (*api.RecommendResponse, error) {
+	cf, err := s.tunedConfig(workload, inputBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &api.RecommendResponse{
+		Workload:   workload,
+		InputBytes: inputBytes,
+		Schemes:    schemeEntries(cf),
+		Runs:       s.db.RunCount(workload),
+		Samples:    s.db.SampleCount(workload),
+	}, nil
+}
+
+// explain renders the optimizer's per-stage reasoning from a DB snapshot.
+func (s *Server) explain(workload string, inputBytes int64) (string, error) {
+	o := core.NewOptimizer(s.db.CloneWorkload(workload))
+	ex, err := o.Explain(workload, float64(inputBytes))
+	if err != nil {
+		return "", httpErrf(http.StatusConflict, "service: workload %q not trained: %v", workload, err)
+	}
+	return ex.String(), nil
+}

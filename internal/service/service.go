@@ -1,0 +1,227 @@
+// Package service implements chopperd, the tuning-as-a-service daemon: a
+// long-running HTTP/JSON server that owns a shared, durably persisted
+// workload database (core.DB + core.Store) and serves four endpoint
+// families — submit-job, train, recommend/explain, and ops (/healthz,
+// /metrics, /debug/pprof). See api for the wire types and DESIGN.md §9 for
+// the serving architecture.
+//
+// Concurrency shape: HTTP handlers are the only producers; writes (submit,
+// train) are admitted to a bounded worker pool (queue full → 429 with
+// Retry-After), while reads (recommend, explain, workloads) run directly on
+// the handler against a copy-on-read DB snapshot, so they never queue
+// behind — or block — training. The DB itself is single-writer/multi-reader
+// (core.DB's locking contract); durability is an append-only journal of
+// observations plus an atomic snapshot written on graceful shutdown.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chopper"
+	"chopper/internal/core"
+	"chopper/internal/metrics"
+	"chopper/internal/workloads"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// StorePath is the durable profile store base path (snapshot at the
+	// path, journal at path+".journal"). Empty runs in-memory only.
+	StorePath string
+	// Workers is the job worker-pool size (default max(2, NumCPU)).
+	Workers int
+	// QueueDepth caps the admitted-but-unstarted job queue (default 128).
+	QueueDepth int
+	// Shrink is the default physical-dataset shrink factor for job and
+	// training runs (default 12; logical sizes are unaffected).
+	Shrink int
+	// JobTimeout is the default per-request deadline covering queue wait
+	// plus execution (default 5m).
+	JobTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses (default 1s).
+	RetryAfter time.Duration
+	// SessionOptions configure every pooled session (cluster, parallelism).
+	SessionOptions []chopper.Option
+	// SyncAppends controls journal fsync per observation (default true);
+	// benchmarks may disable it.
+	SyncAppends *bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+		if c.Workers < 2 {
+			c.Workers = 2
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.Shrink <= 0 {
+		c.Shrink = 12
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the chopperd daemon.
+type Server struct {
+	cfg      Config
+	db       *core.DB
+	store    *core.Store // nil when in-memory
+	pool     *workPool
+	sessions *chopper.SessionPool
+	reg      *metrics.Registry
+	mux      *http.ServeMux
+	http     *http.Server
+	start    time.Time
+	draining atomic.Bool
+
+	// serveOnce guards against double Serve, shutdownOnce against double
+	// store teardown.
+	serveOnce    sync.Once
+	shutdownOnce sync.Once
+}
+
+// New builds a server: opens (and replays) the durable store when
+// configured, then wires the endpoint mux. The daemon does not accept
+// traffic until Serve.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		db:       core.NewDB(),
+		pool:     newWorkPool(cfg.Workers, cfg.QueueDepth),
+		sessions: chopper.NewSessionPool(cfg.SessionOptions...),
+		reg:      metrics.NewRegistry(),
+		start:    time.Now(),
+	}
+	if cfg.StorePath != "" {
+		store, db, err := core.OpenStore(cfg.StorePath)
+		if err != nil {
+			return nil, fmt.Errorf("service: open store: %w", err)
+		}
+		if cfg.SyncAppends != nil {
+			store.SyncAppends = *cfg.SyncAppends
+		}
+		store.Attach(db)
+		s.store, s.db = store, db
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	s.registerGauges()
+	s.http = &http.Server{Handler: s.mux}
+	return s, nil
+}
+
+// DB exposes the shared workload database (tests).
+func (s *Server) DB() *core.DB { return s.db }
+
+// Handler exposes the endpoint mux (in-process benchmarks and tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// registerGauges wires the scrape-time gauges: live state sampled right
+// before every /metrics render.
+func (s *Server) registerGauges() {
+	s.reg.OnScrape(func() {
+		s.reg.Gauge("chopperd_queue_depth", "jobs admitted but not yet started").Set(int64(s.pool.depth()))
+		s.reg.Gauge("chopperd_queue_capacity", "admission-control queue cap").Set(int64(s.pool.cap()))
+		s.reg.Gauge("chopperd_workers", "job worker-pool size").Set(int64(s.cfg.Workers))
+		s.reg.Gauge("chopperd_uptime_seconds", "seconds since process start").Set(int64(time.Since(s.start).Seconds()))
+		s.reg.Gauge("chopperd_goroutines", "live goroutines").Set(int64(runtime.NumGoroutine()))
+		for _, w := range workloads.AllWithExtensions() {
+			name := w.Name()
+			s.reg.Gauge("chopperd_db_samples", "profile-store observations", "workload="+name).Set(int64(s.db.SampleCount(name)))
+			s.reg.Gauge("chopperd_db_runs", "profile-store recorded runs", "workload="+name).Set(int64(s.db.RunCount(name)))
+		}
+		if s.store != nil {
+			s.reg.Gauge("chopperd_journal_records", "observations not yet covered by a snapshot").Set(int64(s.store.JournalRecords()))
+		}
+	})
+}
+
+// Listen opens a TCP listener on addr (":0" for an ephemeral port).
+func (s *Server) Listen(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listen %s: %w", addr, err)
+	}
+	return ln, nil
+}
+
+// Serve runs the daemon on ln until Shutdown, then completes the drain:
+// the worker pool finishes every admitted job, the final snapshot is
+// written, and the store is closed. It returns nil after a clean
+// shutdown-and-drain.
+func (s *Server) Serve(ln net.Listener) error {
+	started := false
+	s.serveOnce.Do(func() { started = true })
+	if !started {
+		return errors.New("service: Serve called twice")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.pool.run()
+	}()
+	err := s.http.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	// Shutdown has stopped admission and closed the pool once in-flight
+	// handlers returned; on the error path (Serve failed outright) close
+	// it here so the workers exit. Either way, wait for the drain.
+	s.pool.close()
+	wg.Wait()
+	if ferr := s.finalizeStore(); ferr != nil && err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// finalizeStore writes the final snapshot and closes the journal (once).
+func (s *Server) finalizeStore() error {
+	var err error
+	s.shutdownOnce.Do(func() {
+		if s.store == nil {
+			return
+		}
+		if serr := s.store.Snapshot(s.db); serr != nil {
+			err = fmt.Errorf("service: final snapshot: %w", serr)
+			return
+		}
+		if cerr := s.store.Close(); cerr != nil {
+			err = fmt.Errorf("service: close store: %w", cerr)
+		}
+	})
+	return err
+}
+
+// Shutdown gracefully stops the daemon: admission is cut (new jobs get
+// 503), in-flight handlers — and the jobs they wait on — are given until
+// ctx expires, then the listener closes and Serve finishes the drain and
+// snapshot. Safe to call from a signal handler while Serve blocks.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.http.Shutdown(ctx)
+	s.pool.close()
+	return err
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }

@@ -1,0 +1,240 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"chopper/api"
+	"chopper/client"
+	"chopper/internal/core"
+)
+
+// startTestServer runs a daemon on an ephemeral port and returns a client
+// plus a stop function that drains it and requires a clean exit.
+func startTestServer(t *testing.T, cfg Config) (*Server, *client.Client, func()) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	cl := client.New("http://" + ln.Addr().String())
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := cl.Health(context.Background()); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("serve returned: %v", err)
+		}
+	}
+	t.Cleanup(stop)
+	return srv, cl, stop
+}
+
+// smallTrain runs the cheapest useful training grid.
+func smallTrain(t *testing.T, cl *client.Client, workload string) *api.TrainResponse {
+	t.Helper()
+	noRange := false
+	tr, err := cl.Train(context.Background(), api.TrainRequest{
+		Workload:      workload,
+		Shrink:        24,
+		SizeFractions: []float64{0.5, 1.0},
+		Partitions:    []int{150, 300},
+		Range:         &noRange,
+	})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	return tr
+}
+
+// apiStatus extracts the HTTP status from a client error.
+func apiStatus(t *testing.T, err error) int {
+	t.Helper()
+	ae, ok := err.(*client.APIError)
+	if !ok {
+		t.Fatalf("error %v (%T) is not an *client.APIError", err, err)
+	}
+	return ae.Status
+}
+
+// TestUnknownWorkload404 pins the not-found mapping on both the pooled
+// write path and the direct read path.
+func TestUnknownWorkload404(t *testing.T) {
+	_, cl, _ := startTestServer(t, Config{})
+	ctx := context.Background()
+	_, err := cl.Submit(ctx, api.SubmitRequest{Workload: "nope"})
+	if got := apiStatus(t, err); got != http.StatusNotFound {
+		t.Fatalf("submit unknown workload: status %d, want 404", got)
+	}
+	_, err = cl.Recommend(ctx, "nope", 0)
+	if got := apiStatus(t, err); got != http.StatusNotFound {
+		t.Fatalf("recommend unknown workload: status %d, want 404", got)
+	}
+	_, err = cl.Recommend(ctx, "kmeans", 0)
+	if got := apiStatus(t, err); got != http.StatusConflict {
+		t.Fatalf("recommend untrained workload: status %d, want 409", got)
+	}
+}
+
+// TestQueueFull429 pins admission control: with the single worker blocked
+// and the one queue slot taken, a submit must be rejected with 429 and a
+// Retry-After hint — never queued unboundedly.
+func TestQueueFull429(t *testing.T) {
+	srv, cl, _ := startTestServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	gate := make(chan struct{})
+	block := func(ctx context.Context) (any, error) { <-gate; return nil, nil }
+
+	// First job occupies the worker...
+	if err := srv.pool.submit(newJob(context.Background(), block)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.pool.depth() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the blocking job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...the second fills the queue.
+	if err := srv.pool.submit(newJob(context.Background(), block)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := cl.Submit(context.Background(), api.SubmitRequest{Workload: "kmeans", Shrink: 50})
+	ae, ok := err.(*client.APIError)
+	if !ok || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("submit against full queue: %v, want 429", err)
+	}
+	if ae.RetryAfter < time.Second {
+		t.Fatalf("429 carried Retry-After %v, want >= 1s", ae.RetryAfter)
+	}
+	close(gate)
+}
+
+// TestDrainWritesLoadableSnapshot pins the clean-shutdown contract: an
+// in-flight submit completes during the drain, the final snapshot is
+// loadable and complete, and the journal is truncated.
+func TestDrainWritesLoadableSnapshot(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "profiles.db")
+	srv, cl, stop := startTestServer(t, Config{StorePath: store})
+	smallTrain(t, cl, "kmeans")
+
+	subErr := make(chan error, 1)
+	go func() {
+		_, err := cl.Submit(context.Background(), api.SubmitRequest{Workload: "kmeans", Shrink: 24})
+		subErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the submit reach the queue
+	stop()
+	if err := <-subErr; err != nil {
+		t.Fatalf("in-flight submit failed during drain: %v", err)
+	}
+
+	wantSamples := srv.DB().SampleCount("kmeans")
+	db, err := core.LoadDB(store)
+	if err != nil {
+		t.Fatalf("snapshot not loadable: %v", err)
+	}
+	if got := db.SampleCount("kmeans"); got != wantSamples || got == 0 {
+		t.Fatalf("snapshot has %d samples, want %d (> 0)", got, wantSamples)
+	}
+	if _, db2, err := core.OpenStore(store); err != nil {
+		t.Fatalf("reopen store: %v", err)
+	} else if got := db2.SampleCount("kmeans"); got != wantSamples {
+		t.Fatalf("store reopen has %d samples, want %d", got, wantSamples)
+	}
+}
+
+// TestCrashReplayReproducesState pins durability without a snapshot: with
+// the daemon still running (journal only, synced per append), a second
+// store opened on the same path must reproduce the sample count and the
+// byte-exact recommend response — what a restart after SIGKILL sees.
+func TestCrashReplayReproducesState(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "profiles.db")
+	srv, cl, _ := startTestServer(t, Config{StorePath: store})
+	smallTrain(t, cl, "kmeans")
+	if _, err := cl.Submit(context.Background(), api.SubmitRequest{Workload: "kmeans", Shrink: 24}); err != nil {
+		t.Fatal(err)
+	}
+	want := srv.DB().SampleCount("kmeans")
+	r1, err := cl.RecommendRaw(context.Background(), "kmeans", 0)
+	if err != nil {
+		t.Fatalf("recommend: %v", err)
+	}
+
+	srv2, err := New(Config{StorePath: store})
+	if err != nil {
+		t.Fatalf("restart on journal: %v", err)
+	}
+	if got := srv2.DB().SampleCount("kmeans"); got != want || got == 0 {
+		t.Fatalf("replayed DB has %d samples, want %d (> 0)", got, want)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/recommend?workload=kmeans", nil)
+	rec := httptest.NewRecorder()
+	srv2.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recommend after replay: status %d: %s", rec.Code, rec.Body)
+	}
+	if !bytes.Equal(r1, rec.Body.Bytes()) {
+		t.Fatalf("recommend changed across replay:\nlive:     %s\nreplayed: %s", r1, rec.Body.Bytes())
+	}
+}
+
+// TestOpsEndpoints pins /healthz and /metrics shape.
+func TestOpsEndpoints(t *testing.T) {
+	_, cl, _ := startTestServer(t, Config{})
+	ctx := context.Background()
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers < 1 || h.QueueCap < 1 {
+		t.Fatalf("unexpected health: %+v", h)
+	}
+	if _, err := cl.Workloads(ctx); err != nil {
+		t.Fatal(err)
+	}
+	text, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"chopperd_http_requests_total",
+		"chopperd_queue_capacity",
+		"chopperd_workers",
+		`chopperd_http_seconds_bucket{path="/healthz",le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}

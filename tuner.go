@@ -1,6 +1,7 @@
 package chopper
 
 import (
+	"context"
 	"fmt"
 
 	"chopper/internal/core"
@@ -72,8 +73,20 @@ func NewTuner(opts ...Option) *Tuner {
 
 // Profile executes the trial plan for app, accumulating statistics.
 func (t *Tuner) Profile(app App) error {
+	return t.ProfileContext(context.Background(), app)
+}
+
+// ProfileContext is Profile with cancellation: the context is checked
+// between trial runs, so a canceled training request (chopperd's
+// per-request deadline) stops after the current run instead of finishing
+// the whole grid. Completed runs stay in the DB — each is a valid
+// observation on its own.
+func (t *Tuner) ProfileContext(ctx context.Context, app App) error {
 	target := app.InputBytes()
 	run := func(bytes int64, cfg dag.StageConfigurator, isDefault bool) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("chopper: profile of %s canceled: %w", app.Name(), err)
+		}
 		opts := append([]Option{}, t.SessionOptions...)
 		sess := NewSession(opts...)
 		sess.sch.Configurator = cfg
