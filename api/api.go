@@ -39,7 +39,7 @@ type SubmitRequest struct {
 	// profile store.
 	NoRecord bool `json:"noRecord,omitempty"`
 	// TimeoutSeconds caps queue wait + execution; 0 means the server
-	// default deadline.
+	// default deadline, and values above it are clamped down to it.
 	TimeoutSeconds float64 `json:"timeoutSeconds,omitempty"`
 }
 
@@ -88,8 +88,10 @@ type TrainRequest struct {
 	// when non-empty (smaller grids make cheaper incremental updates).
 	SizeFractions  []float64 `json:"sizeFractions,omitempty"`
 	Partitions     []int     `json:"partitions,omitempty"`
-	Range          *bool     `json:"range,omitempty"`
-	TimeoutSeconds float64   `json:"timeoutSeconds,omitempty"`
+	Range *bool `json:"range,omitempty"`
+	// TimeoutSeconds behaves as in SubmitRequest: 0 means the server
+	// default, larger values are clamped to it.
+	TimeoutSeconds float64 `json:"timeoutSeconds,omitempty"`
 }
 
 // TrainResponse reports a completed training job.
@@ -132,7 +134,10 @@ type Health struct {
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	Workers       int     `json:"workers"`
 	QueueDepth    int     `json:"queueDepth"`
-	QueueCap      int     `json:"queueCap"`
+	// ActiveJobs counts jobs currently executing on a worker; together with
+	// QueueDepth it tells a client whether submitted work has been admitted.
+	ActiveJobs int `json:"activeJobs"`
+	QueueCap   int `json:"queueCap"`
 	Draining      bool    `json:"draining"`
 	// Store describes the durable profile store; empty when in-memory.
 	StorePath      string `json:"storePath,omitempty"`

@@ -223,12 +223,35 @@ func runSmoke(ctx context.Context, binary string) error {
 		_, err := cl.Submit(ctx, api.SubmitRequest{Workload: workload, Shrink: 24, NoRecord: true})
 		subErr <- err
 	}()
-	time.Sleep(100 * time.Millisecond) // let the job reach the daemon
+	// SIGTERM only once the daemon has admitted the job (queued or on a
+	// worker): a fixed sleep races the request on a slow machine, and a
+	// not-yet-admitted submit would bounce off the drain with 503.
+	submitDone, submitErr := false, error(nil)
+	admitDeadline := time.Now().Add(30 * time.Second)
+waitAdmitted:
+	for {
+		select {
+		case submitErr = <-subErr:
+			submitDone = true // finished before the drain; equally fine
+			break waitAdmitted
+		default:
+		}
+		if h, err := cl.Health(ctx); err == nil && h.QueueDepth+h.ActiveJobs > 0 {
+			break
+		}
+		if time.Now().After(admitDeadline) {
+			return fmt.Errorf("submit not admitted within 30s\n%s", d.out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 	if err := d.drain(); err != nil {
 		return err
 	}
-	if err := <-subErr; err != nil {
-		return fmt.Errorf("in-flight submit failed during drain: %w", err)
+	if !submitDone {
+		submitErr = <-subErr
+	}
+	if submitErr != nil {
+		return fmt.Errorf("in-flight submit failed during drain: %w", submitErr)
 	}
 	if fi, err := os.Stat(store); err != nil || fi.Size() == 0 {
 		return fmt.Errorf("no snapshot at %s after drain (err %v)", store, err)

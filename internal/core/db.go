@@ -327,9 +327,19 @@ func (wd *WorkloadData) clone() *WorkloadData {
 
 // MarshalSnapshot renders the database as the snapshot JSON Save writes,
 // holding the read lock only while marshaling.
-func (db *DB) MarshalSnapshot() ([]byte, error) {
+func (db *DB) MarshalSnapshot() ([]byte, error) { return db.marshalSnapshotWith(nil) }
+
+// marshalSnapshotWith marshals the database, first invoking capture under
+// the same read-lock hold. Because AddRun runs its observer while holding
+// the write lock, whatever capture records (the Store's journal position,
+// say) is exactly consistent with the marshaled state: no observation can
+// land between the capture and the marshal.
+func (db *DB) marshalSnapshotWith(capture func()) ([]byte, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if capture != nil {
+		capture()
+	}
 	data, err := json.MarshalIndent(db, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("core: marshal db: %w", err)

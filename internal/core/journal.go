@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,14 +24,18 @@ import (
 // state — including float accumulations like StageNode.InputFraction,
 // which are order-sensitive.
 //
-// Snapshot writes are atomic (temp file + fsync + rename) and truncate the
-// journal afterwards, so a crash at any point leaves either the old
-// snapshot + full journal or the new snapshot + empty journal.
+// Snapshot writes are atomic (temp file + fsync + rename) and drop the
+// journal prefix the snapshot covers, so a crash at any point leaves either
+// the old snapshot + full journal or the new snapshot + the (usually empty)
+// journal of records appended after the snapshot marshal. Recovery also
+// truncates a torn journal tail — the unacknowledged fragment of an append
+// cut short by a crash — before new appends are accepted.
 type Store struct {
 	mu       sync.Mutex
 	base     string
 	journal  *os.File
 	w        *bufio.Writer
+	size     int64 // journal bytes on disk (buffer always flushed by Append)
 	appended int
 	replayed int
 	closed   bool
@@ -63,58 +68,82 @@ func OpenStore(base string) (*Store, *DB, error) {
 		return nil, nil, fmt.Errorf("core: store: load snapshot: %w", err)
 	}
 	st := &Store{base: base, SyncAppends: true}
-	if st.replayed, err = replayJournal(st.journalPath(), db); err != nil {
+	var off int64
+	if st.replayed, off, err = replayJournal(st.journalPath(), db); err != nil {
 		return nil, nil, err
+	}
+	// Drop the torn tail (if any) before opening for append: O_APPEND onto
+	// a partial line would concatenate the next record into it, losing that
+	// acknowledged record — and making the journal unreadable once more
+	// records follow the mangled line.
+	if fi, serr := os.Stat(st.journalPath()); serr == nil && fi.Size() > off {
+		if terr := os.Truncate(st.journalPath(), off); terr != nil {
+			return nil, nil, fmt.Errorf("core: store: truncate torn journal tail: %w", terr)
+		}
 	}
 	st.journal, err = os.OpenFile(st.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: store: open journal: %w", err)
 	}
 	st.w = bufio.NewWriter(st.journal)
+	st.size = off
 	return st, db, nil
 }
 
 // journalPath is the journal file derived from the snapshot base path.
 func (s *Store) journalPath() string { return s.base + ".journal" }
 
-// replayJournal applies every complete journal record to db. A malformed
-// final line — the torn tail of a crashed append — ends the replay without
-// error; a malformed line with records after it is corruption and fails.
-func replayJournal(path string, db *DB) (int, error) {
+// replayJournal applies every complete journal record to db and returns the
+// record count plus the byte offset where the complete prefix ends. A final
+// line that is unterminated or fails to parse is the torn tail of a crashed
+// append: Append syncs the full line (data + newline) before acknowledging,
+// so a torn line was never acknowledged and replay ends there without error
+// — the caller truncates it away. Any line after a torn one is corruption
+// and fails the open.
+func replayJournal(path string, db *DB) (int, int64, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return 0, nil
+		return 0, 0, nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("core: store: open journal: %w", err)
+		return 0, 0, fmt.Errorf("core: store: open journal: %w", err)
 	}
 	defer func() { _ = f.Close() }() // read-only; nothing to flush
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
-	n, torn := 0, false
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	r := bufio.NewReaderSize(f, 1<<20)
+	var n int
+	var pos, off int64
+	torn := false
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return n, off, fmt.Errorf("core: store: read journal: %w", rerr)
 		}
-		var rec journalRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			if torn {
-				return n, fmt.Errorf("core: store: journal corrupt beyond torn tail: %w", err)
+		if len(line) > 0 {
+			pos += int64(len(line))
+			terminated := line[len(line)-1] == '\n'
+			body := bytes.TrimSpace(line)
+			switch {
+			case len(body) == 0: // blank line: harmless filler
+				if terminated && !torn {
+					off = pos
+				}
+			case torn:
+				return n, off, fmt.Errorf("core: store: journal has a record after a torn line")
+			default:
+				var rec journalRecord
+				if !terminated || json.Unmarshal(body, &rec) != nil {
+					torn = true
+					break
+				}
+				db.AddRun(rec.Workload, rec.InputBytes, rec.Obs)
+				n++
+				off = pos
 			}
-			torn = true
-			continue
 		}
-		if torn {
-			return n, fmt.Errorf("core: store: journal has a record after a torn line")
+		if rerr == io.EOF {
+			return n, off, nil
 		}
-		db.AddRun(rec.Workload, rec.InputBytes, rec.Obs)
-		n++
 	}
-	if err := sc.Err(); err != nil {
-		return n, fmt.Errorf("core: store: read journal: %w", err)
-	}
-	return n, nil
 }
 
 // Attach installs the store as db's AddRun observer, so every subsequent
@@ -152,21 +181,50 @@ func (s *Store) Append(workload string, inputBytes float64, obs []StageObservati
 			return fmt.Errorf("core: store: sync journal: %w", err)
 		}
 	}
+	s.size += int64(len(data)) + 1
 	s.appended++
 	return nil
 }
 
-// Snapshot atomically persists db at the base path and truncates the
-// journal: temp file, fsync, rename, then a fresh empty journal.
+// Snapshot atomically persists db at the base path and drops the journal
+// prefix the snapshot covers: temp file, fsync, rename, then a journal
+// holding only records appended after the marshal (usually none).
+//
+// Coverage is exact even with concurrent writers: the journal position is
+// captured while the DB read lock is held (beginSnapshot), and observer
+// appends run under the DB write lock, so every record at or below the
+// captured position is in the marshaled state and every record above it is
+// preserved by commitSnapshot rather than destroyed.
 func (s *Store) Snapshot(db *DB) error {
-	data, err := db.MarshalSnapshot()
+	data, covSize, covRecords, err := s.beginSnapshot(db)
 	if err != nil {
 		return err
 	}
+	return s.commitSnapshot(data, covSize, covRecords)
+}
+
+// beginSnapshot marshals db and captures — atomically with the marshal,
+// under the DB read lock — the journal size and record count the snapshot
+// covers.
+func (s *Store) beginSnapshot(db *DB) (data []byte, coveredSize int64, coveredRecords int, err error) {
+	data, err = db.marshalSnapshotWith(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		coveredSize, coveredRecords = s.size, s.replayed+s.appended
+	})
+	return data, coveredSize, coveredRecords, err
+}
+
+// commitSnapshot publishes the marshaled snapshot and rewrites the journal
+// to hold only the records beyond the covered prefix.
+func (s *Store) commitSnapshot(data []byte, coveredSize int64, coveredRecords int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("core: store: snapshot after close")
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("core: store: flush journal: %w", err)
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(s.base), filepath.Base(s.base)+".tmp*")
 	if err != nil {
@@ -189,16 +247,44 @@ func (s *Store) Snapshot(db *DB) error {
 		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("core: store: publish snapshot: %w", err)
 	}
-	// The snapshot now covers everything journaled; start a fresh journal.
+	// Records journaled after the marshal (an AddRun that interleaved
+	// between beginSnapshot and here) are absent from the snapshot; carry
+	// them into the fresh journal instead of destroying them.
+	var tail []byte
+	if s.size > coveredSize {
+		tail = make([]byte, s.size-coveredSize)
+		tf, err := os.Open(s.journalPath())
+		if err != nil {
+			return fmt.Errorf("core: store: reread journal tail: %w", err)
+		}
+		_, rerr := tf.ReadAt(tail, coveredSize)
+		_ = tf.Close()
+		if rerr != nil {
+			return fmt.Errorf("core: store: reread journal tail: %w", rerr)
+		}
+	}
 	if err := s.journal.Close(); err != nil {
 		return fmt.Errorf("core: store: close journal: %w", err)
 	}
-	s.journal, err = os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	s.journal, err = os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_TRUNC|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("core: store: reset journal: %w", err)
 	}
 	s.w = bufio.NewWriter(s.journal)
-	s.appended, s.replayed = 0, 0
+	s.size = 0
+	if len(tail) > 0 {
+		if _, err := s.journal.Write(tail); err != nil {
+			return fmt.Errorf("core: store: rewrite journal tail: %w", err)
+		}
+		// The tail records were acknowledged as durable before the rewrite;
+		// sync so they stay that way in the new file.
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("core: store: sync journal tail: %w", err)
+		}
+		s.size = int64(len(tail))
+	}
+	s.replayed = s.replayed + s.appended - coveredRecords
+	s.appended = 0
 	return nil
 }
 

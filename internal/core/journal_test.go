@@ -118,6 +118,97 @@ func TestStoreTornTailIgnored(t *testing.T) {
 	}
 }
 
+func TestStoreTornTailAppendAfterRecovery(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "chopperd.db")
+	st, db := storeAt(t, base)
+	db.AddRun("wl", 1e9, raceObs(0))
+	db.AddRun("wl", 1e9, raceObs(1))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jp := base + ".journal"
+	data, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jp, data[:len(data)-25], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery must truncate the torn fragment, so that an append after
+	// recovery starts a fresh line rather than concatenating onto it —
+	// otherwise the new acknowledged record is lost, and a further restart
+	// fails outright with a record-after-torn-line error.
+	st2, db2 := storeAt(t, base)
+	db2.AddRun("wl", 1e9, raceObs(2))
+	if got := st2.JournalRecords(); got != 2 {
+		t.Fatalf("JournalRecords after recovery+append = %d, want 2", got)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st3, db3 := storeAt(t, base)
+	defer func() {
+		if err := st3.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if got := st3.JournalRecords(); got != 2 {
+		t.Fatalf("JournalRecords = %d, want 2", got)
+	}
+	if got, want := db3.SampleCount("wl"), db2.SampleCount("wl"); got != want {
+		t.Fatalf("replayed SampleCount = %d, want %d", got, want)
+	}
+	if got := db3.RunCount("wl"); got != 2 {
+		t.Fatalf("RunCount = %d, want 2", got)
+	}
+}
+
+// TestStoreSnapshotPreservesInterleavedAppend pins the marshal/truncate
+// window: a record journaled after the snapshot marshal is absent from the
+// snapshot data, so the journal rewrite must preserve it — truncating it
+// would permanently lose an acknowledged write.
+func TestStoreSnapshotPreservesInterleavedAppend(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "chopperd.db")
+	st, db := storeAt(t, base)
+	db.AddRun("wl", 1e9, raceObs(0))
+
+	data, covSize, covRecs, err := st.beginSnapshot(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The interleaved write: lands in the journal between the marshal and
+	// the snapshot commit.
+	db.AddRun("wl", 1e9, raceObs(1))
+	if err := st.commitSnapshot(data, covSize, covRecs); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.JournalRecords(); got != 1 {
+		t.Fatalf("JournalRecords after snapshot = %d, want 1 (interleaved append preserved)", got)
+	}
+	want := db.SampleCount("wl")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, db2 := storeAt(t, base)
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if got := db2.RunCount("wl"); got != 2 {
+		t.Fatalf("recovered RunCount = %d, want 2", got)
+	}
+	if got := db2.SampleCount("wl"); got != want {
+		t.Fatalf("recovered SampleCount = %d, want %d", got, want)
+	}
+	if got := st2.JournalRecords(); got != 1 {
+		t.Fatalf("JournalRecords after reopen = %d, want 1", got)
+	}
+}
+
 func TestStoreSnapshotAtomicPublish(t *testing.T) {
 	base := filepath.Join(t.TempDir(), "chopperd.db")
 	st, db := storeAt(t, base)

@@ -111,9 +111,14 @@ func (s *Server) runJob(w http.ResponseWriter, r *http.Request, timeoutSeconds f
 		s.writeError(w, r, errDraining)
 		return nil, false
 	}
+	// A client may shorten its deadline but never extend it past the
+	// server's JobTimeout, which bounds how long one request can pin a
+	// worker (and so how long a graceful drain can take).
 	d := s.cfg.JobTimeout
 	if timeoutSeconds > 0 {
-		d = time.Duration(timeoutSeconds * float64(time.Second))
+		if req := time.Duration(timeoutSeconds * float64(time.Second)); req < d {
+			d = req
+		}
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
@@ -241,6 +246,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.cfg.Workers,
 		QueueDepth:    s.pool.depth(),
+		ActiveJobs:    s.pool.inflight(),
 		QueueCap:      s.pool.cap(),
 		Draining:      s.draining.Load(),
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Admission-control errors, mapped to HTTP statuses by the handlers.
@@ -43,6 +44,7 @@ func newJob(ctx context.Context, fn func(ctx context.Context) (any, error)) *job
 // never race a send onto a closed queue.
 type workPool struct {
 	workers int
+	active  atomic.Int64
 	mu      sync.Mutex
 	queue   chan *job
 	closed  bool
@@ -76,6 +78,9 @@ func (p *workPool) submit(j *job) error {
 
 // depth reports the currently queued job count.
 func (p *workPool) depth() int { return len(p.queue) }
+
+// inflight reports the jobs currently executing on a worker.
+func (p *workPool) inflight() int { return int(p.active.Load()) }
 
 // cap reports the queue capacity.
 func (p *workPool) cap() int { return cap(p.queue) }
@@ -117,6 +122,8 @@ func (p *workPool) exec(j *job) {
 		j.done <- jobResult{err: fmt.Errorf("service: canceled while queued: %w", err)}
 		return
 	}
+	p.active.Add(1)
+	defer p.active.Add(-1)
 	v, err := j.run(j.ctx)
 	j.done <- jobResult{v: v, err: err}
 }

@@ -44,7 +44,8 @@ type Config struct {
 	// training runs (default 12; logical sizes are unaffected).
 	Shrink int
 	// JobTimeout is the default per-request deadline covering queue wait
-	// plus execution (default 5m).
+	// plus execution, and the upper bound client-supplied TimeoutSeconds
+	// values are clamped to (default 5m).
 	JobTimeout time.Duration
 	// RetryAfter is the backoff hint attached to 429 responses (default 1s).
 	RetryAfter time.Duration
@@ -139,6 +140,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) registerGauges() {
 	s.reg.OnScrape(func() {
 		s.reg.Gauge("chopperd_queue_depth", "jobs admitted but not yet started").Set(int64(s.pool.depth()))
+		s.reg.Gauge("chopperd_active_jobs", "jobs currently executing on a worker").Set(int64(s.pool.inflight()))
 		s.reg.Gauge("chopperd_queue_capacity", "admission-control queue cap").Set(int64(s.pool.cap()))
 		s.reg.Gauge("chopperd_workers", "job worker-pool size").Set(int64(s.cfg.Workers))
 		s.reg.Gauge("chopperd_uptime_seconds", "seconds since process start").Set(int64(time.Since(s.start).Seconds()))

@@ -153,7 +153,18 @@ func TestDrainWritesLoadableSnapshot(t *testing.T) {
 		_, err := cl.Submit(context.Background(), api.SubmitRequest{Workload: "kmeans", Shrink: 24})
 		subErr <- err
 	}()
-	time.Sleep(50 * time.Millisecond) // let the submit reach the queue
+	// Stop only once the submit has been admitted (queued or executing), so
+	// the drain genuinely covers an in-flight job.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.pool.depth()+srv.pool.inflight() == 0 {
+		if len(subErr) > 0 { // completed between polls — already admitted
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submit never admitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	stop()
 	if err := <-subErr; err != nil {
 		t.Fatalf("in-flight submit failed during drain: %v", err)
@@ -206,6 +217,35 @@ func TestCrashReplayReproducesState(t *testing.T) {
 	}
 	if !bytes.Equal(r1, rec.Body.Bytes()) {
 		t.Fatalf("recommend changed across replay:\nlive:     %s\nreplayed: %s", r1, rec.Body.Bytes())
+	}
+}
+
+// TestJobTimeoutClamped pins the deadline bound: a client-supplied
+// TimeoutSeconds cannot extend a job past the server's JobTimeout, so one
+// request can never pin a worker (or stall a graceful drain) indefinitely.
+func TestJobTimeoutClamped(t *testing.T) {
+	srv, _, _ := startTestServer(t, Config{JobTimeout: 100 * time.Millisecond})
+	release := make(chan struct{})
+	defer close(release)
+	start := time.Now()
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", nil)
+	rec := httptest.NewRecorder()
+	_, ok := srv.runJob(rec, req, 3600, func(ctx context.Context) (any, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return nil, nil
+		}
+	})
+	if ok {
+		t.Fatal("job succeeded despite exceeding the clamped deadline")
+	}
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", rec.Code)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("job ran %v, want ~100ms under the clamp", elapsed)
 	}
 }
 
