@@ -3,23 +3,45 @@
 #
 # Tier-1 (ROADMAP.md) is `go build ./... && go test ./...`; this script is
 # the full gate: vet, the chopperlint determinism/correctness suite, the
-# test suite (with shuffled execution order, so inter-test state leaks
-# cannot hide), the race detector over every internal package, short
-# native-fuzz runs of the execution engine against its single-threaded
-# oracle, the plan-IR invariant checker, and the symbolic plan extractor,
-# chopperplan — the static plan-drift gate diffing statically extracted
-# stage graphs against the ones the scheduler submits — and chopperverify,
-# the plan-IR and configuration verifiers run end to end over every
-# built-in workload.
+# chopperguard lock-contract/durability-protocol verifier, the test suite
+# (with shuffled execution order, so inter-test state leaks cannot hide),
+# the race detector over every internal package, short native-fuzz runs of
+# the execution engine against its single-threaded oracle and of the guard
+# pipeline against arbitrary source, the plan-IR invariant checker, and
+# the symbolic plan extractor, chopperplan — the static plan-drift gate
+# diffing statically extracted stage graphs against the ones the scheduler
+# submits — and chopperverify, the plan-IR and configuration verifiers run
+# end to end over every built-in workload.
 #
-# Every step must pass for a change to land. chopperlint, chopperplan and
-# chopperverify exit non-zero on any finding; see DESIGN.md ("Determinism
-# invariants & linting", "Plan-IR invariants", "Static plan extraction")
-# for the rule catalogues and the //lint:ignore suppression syntax.
+# Every step must pass for a change to land. The gate CLIs exit non-zero
+# on any finding and share one wire-JSON schema (tool/rule/pos/msg/
+# severity); their per-tool artifacts are merged into lint.json at the
+# end. See DESIGN.md ("Determinism invariants & linting", "Plan-IR
+# invariants", "Static plan extraction", "Lock contracts & durability
+# protocol") for the rule catalogues and the //lint:ignore suppression
+# syntax (a suppression must carry a reason).
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== toolchain =="
+# Per-gate wall-time accounting: gate <name> starts a step, printing the
+# previous one's duration; the table is replayed before "CI OK".
+gate_times=()
+gate_name=""
+gate_start=0
+gate() {
+    local now
+    now="$(date +%s)"
+    if [[ -n "$gate_name" ]]; then
+        gate_times+=("$(printf '%4ds  %s' "$((now - gate_start))" "$gate_name")")
+    fi
+    gate_name="${1-}"
+    gate_start="$now"
+    if [[ -n "$gate_name" ]]; then
+        echo "== $gate_name =="
+    fi
+}
+
+gate "toolchain"
 # The toolchain is pinned in go.mod; refuse to run under a silently
 # different one (results must be reproducible across CI machines).
 want="$(sed -n 's/^toolchain //p' go.mod)"
@@ -30,40 +52,59 @@ if [[ -n "$want" && "$have" != "$want" ]]; then
 fi
 go version
 
-echo "== build =="
+gate "build"
 go build ./...
 
-echo "== vet =="
+gate "build gate CLIs"
+# Build the four gate binaries once into bin/ instead of `go run`-ing each
+# gate: one compile apiece, and the json-artifact steps reuse them.
+mkdir -p bin
+go build -o bin/ ./cmd/chopperlint ./cmd/chopperguard ./cmd/chopperplan ./cmd/chopperverify
+
+gate "vet"
 go vet ./...
 
-echo "== chopperlint =="
-go run ./cmd/chopperlint ./...
+gate "chopperlint"
+bin/chopperlint ./...
 
-echo "== chopperlint (self-analysis) =="
+gate "chopperlint (self-analysis)"
 # The linter and the symbolic extractor must hold themselves to their own
 # rules; an explicit step so narrowing the sweep above can never silently
 # exempt them. Fixture files under testdata/ are skipped by the loader.
-go run ./cmd/chopperlint ./internal/lint/... ./internal/plan/...
+bin/chopperlint ./internal/lint/... ./internal/plan/...
 
-echo "== chopperlint (json artifact) =="
-# Machine-readable diagnostics for CI dashboards; byte-stable ordering, so
-# the artifact is diffable across runs.
-go run ./cmd/chopperlint -json ./... > chopperlint.json
+gate "chopperguard"
+# Lock-contract and durability-protocol verification of the service layer:
+# guarded fields accessed under their mutex, copy-on-read accessors
+# returning deep copies, journal hooks inside the mutating write-lock
+# section, no ack-before-append, read-locked checks re-validated before
+# acting.
+bin/chopperguard ./...
 
-echo "== test (shuffled) =="
+gate "wire-JSON artifacts"
+# Machine-readable diagnostics for CI dashboards, one artifact per tool in
+# the shared wire schema, merged (sorted, deduplicated) into lint.json;
+# byte-stable ordering, so every artifact is diffable across runs. The
+# static tools are clean here (they just gated above); the artifacts exist
+# so downstream tooling has one fixed place to look.
+bin/chopperlint -json ./... > chopperlint.json
+bin/chopperguard -json ./... > chopperguard.json
+bin/chopperlint -merge chopperlint.json chopperguard.json > lint.json
+
+gate "test (shuffled)"
 go test -shuffle=on ./...
 
-echo "== race =="
+gate "race"
 go test -race ./internal/...
 
-echo "== race (parallel sweep) =="
+gate "race (parallel sweep)"
 # The driver pool's contract — parallel sweeps byte-identical to sequential
 # — is asserted by TestParallelMatchesSequential; run it explicitly under
 # the race detector so pool regressions fail loudly even if the package
 # sweep above is ever narrowed.
 go test -race -run 'TestParallelMatchesSequential' -count=1 ./internal/experiments
 
-echo "== chopperbench (regression gate) =="
+gate "chopperbench (regression gate)"
 # Benchmark-regression harness: re-measures the shuffle/combine kernels, the
 # quick sweep, and the chopperd serving stack under closed-loop load, then
 # gates allocs/op (exact, machine-independent), the parallel-sweep speedup
@@ -72,7 +113,7 @@ echo "== chopperbench (regression gate) =="
 #   go run ./cmd/chopperbench -out BENCH_5.json
 go run ./cmd/chopperbench -short -compare BENCH_5.json -tolerance 10%
 
-echo "== chopperd smoke =="
+gate "chopperd smoke"
 # End-to-end daemon gate: spawn a real chopperd on an ephemeral port, train,
 # survive a 64-way mixed burst with zero drops, SIGKILL and verify the
 # journal replays to a byte-identical recommendation, then SIGTERM with a
@@ -80,18 +121,22 @@ echo "== chopperd smoke =="
 go build -o /tmp/chopperd.ci ./cmd/chopperd
 go run ./cmd/chopperload -smoke -chopperd /tmp/chopperd.ci
 
-echo "== fuzz (5s) =="
+gate "fuzz (5s)"
 go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/exec
 go test -run='^$' -fuzz=FuzzPlanInvariants -fuzztime=5s ./internal/plan/verify
 go test -run='^$' -fuzz=FuzzSymbolicExtract -fuzztime=5s ./internal/plan/extract
+go test -run='^$' -fuzz=FuzzLockContract -fuzztime=5s ./internal/lint
 
-echo "== chopperplan =="
+gate "chopperplan"
 # Static plan-drift gate: symbolically extract every workload's stage
 # graphs from source, verify the plan-IR invariants on them, and diff them
 # against the plans the scheduler actually submits.
-go run ./cmd/chopperplan -workload=all
+bin/chopperplan -workload=all
 
-echo "== chopperverify =="
-go run ./cmd/chopperverify -workload=all
+gate "chopperverify"
+bin/chopperverify -workload=all
 
+gate
+echo "== gate wall times =="
+printf '%s\n' "${gate_times[@]}"
 echo "CI OK"

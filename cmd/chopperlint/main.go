@@ -5,29 +5,84 @@
 // Usage:
 //
 //	chopperlint [-json] [-rules=<comma-list>] [packages]
+//	chopperlint -merge file.json...
 //
 // Packages default to ./... relative to the enclosing module root. The
-// -json flag emits findings as a JSON array instead of compiler-style
-// text lines; -rules restricts the run to a comma-separated subset of
-// rule names (default: all). Exit status: 0 clean, 1 findings, 2
+// -json flag emits findings in the unified wire schema shared by every
+// gate CLI (tool/rule/pos/msg/severity) instead of compiler-style text
+// lines; -rules restricts the run to a comma-separated subset of rule
+// names (default: all; chopperguard rule names are accepted too). The
+// -merge mode reads wire-JSON finding files and writes one deduplicated,
+// sorted array to stdout — ci.sh uses it to fold the per-tool artifacts
+// into a single lint.json. Exit status: 0 clean, 1 findings, 2
 // load/parse or usage error (an unknown rule name is a usage error).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"chopper/internal/lint"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit diagnostics in the unified wire-JSON schema")
 	rules := flag.String("rules", "", "comma-separated rule names to run (default: all)")
+	merge := flag.Bool("merge", false, "merge wire-JSON finding files (the arguments) into one array on stdout")
 	flag.Parse()
+	if *merge {
+		os.Exit(runMerge(flag.Args()))
+	}
 	os.Exit(run(flag.Args(), *jsonOut, *rules))
+}
+
+// runMerge concatenates wire-JSON finding arrays, dedupes, sorts, and
+// writes the result to stdout.
+func runMerge(files []string) int {
+	if len(files) == 0 {
+		return fail(fmt.Errorf("-merge needs at least one wire-JSON file"))
+	}
+	var all []lint.WireDiagnostic
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return fail(err)
+		}
+		var part []lint.WireDiagnostic
+		if err := json.Unmarshal(data, &part); err != nil {
+			return fail(fmt.Errorf("%s: %v", f, err))
+		}
+		all = append(all, part...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		if a.Tool != b.Tool {
+			return a.Tool < b.Tool
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	dedup := all[:0]
+	for i, w := range all {
+		if i > 0 && w == all[i-1] {
+			continue
+		}
+		dedup = append(dedup, w)
+	}
+	if err := lint.WriteWire(os.Stdout, dedup); err != nil {
+		return fail(err)
+	}
+	return 0
 }
 
 // selectAnalyzers resolves the -rules flag value.
@@ -96,7 +151,7 @@ func run(patterns []string, jsonOut bool, rules string) int {
 	diags = lint.SortDiagnostics(diags)
 
 	if jsonOut {
-		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+		if err := lint.WriteJSONTool(os.Stdout, "chopperlint", diags); err != nil {
 			return fail(err)
 		}
 	} else if err := lint.WriteText(os.Stdout, diags); err != nil {

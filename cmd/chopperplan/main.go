@@ -18,9 +18,12 @@
 //
 // Usage:
 //
-//	chopperplan [-workload=all|kmeans|pca|sql|pagerank] [-shrink=N] [-v]
+//	chopperplan [-workload=all|kmeans|pca|sql|pagerank] [-shrink=N] [-v] [-json]
 //
-// Exit status: 0 clean, 1 drift or invariant violations, 2 error.
+// The -json flag emits findings on stdout in the unified wire schema
+// shared by the gate CLIs (tool/rule/pos/msg/severity); human-readable
+// lines move to stderr. Exit status: 0 clean, 1 drift or invariant
+// violations, 2 error.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 
 	"chopper/internal/cluster"
 	"chopper/internal/experiments"
+	"chopper/internal/lint"
 	"chopper/internal/plan/extract"
 	"chopper/internal/plan/verify"
 	"chopper/internal/workloads"
@@ -39,11 +43,31 @@ func main() {
 	workload := flag.String("workload", "all", "workload to gate (all, kmeans, pca, sql, pagerank)")
 	shrink := flag.Int("shrink", 6, "dataset shrink factor for the runtime half of the diff")
 	verbose := flag.Bool("v", false, "print every extracted plan, not just findings")
+	jsonOut := flag.Bool("json", false, "emit findings on stdout in the unified wire-JSON schema")
 	flag.Parse()
-	os.Exit(run(*workload, *shrink, *verbose))
+	os.Exit(run(*workload, *shrink, *verbose, *jsonOut))
 }
 
-func run(name string, shrink int, verbose bool) int {
+// reporter accumulates findings in the unified wire schema while printing
+// human-readable lines (to stdout normally, stderr under -json, which
+// reserves stdout for the array).
+type reporter struct {
+	json bool
+	wire []lint.WireDiagnostic
+}
+
+func (r *reporter) finding(rule, pos, msg string) {
+	r.wire = append(r.wire, lint.WireDiagnostic{
+		Tool: "chopperplan", Rule: rule, Pos: pos, Msg: msg, Severity: "error",
+	})
+	out := os.Stdout
+	if r.json {
+		out = os.Stderr
+	}
+	_, _ = fmt.Fprintf(out, "%s: %s: %s\n", pos, rule, msg)
+}
+
+func run(name string, shrink int, verbose, jsonOut bool) int {
 	var targets []workloads.Workload
 	if name == "all" {
 		targets = workloads.AllWithExtensions()
@@ -60,59 +84,59 @@ func run(name string, shrink int, verbose bool) int {
 		return fail(err)
 	}
 
-	total := 0
+	r := &reporter{json: jsonOut}
 	for _, w := range targets {
 		workloads.Shrink(w, shrink)
-		n, err := gate(ex, w, verbose)
-		if err != nil {
+		if err := gate(ex, w, verbose, r); err != nil {
 			return fail(fmt.Errorf("%s: %w", w.Name(), err))
 		}
-		total += n
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "chopperplan: %d finding(s)\n", total)
+	if jsonOut {
+		if err := lint.WriteWire(os.Stdout, r.wire); err != nil {
+			return fail(err)
+		}
+	}
+	if len(r.wire) > 0 {
+		fmt.Fprintf(os.Stderr, "chopperplan: %d finding(s)\n", len(r.wire))
 		return 1
 	}
 	if verbose {
-		fmt.Println("chopperplan: all static plans verified and drift-free")
+		fmt.Fprintln(os.Stderr, "chopperplan: all static plans verified and drift-free")
 	}
 	return 0
 }
 
-// gate extracts, verifies, runs and diffs one workload; returns the number
-// of findings printed.
-func gate(ex *extract.Extractor, w workloads.Workload, verbose bool) (int, error) {
+// gate extracts, verifies, runs and diffs one workload, reporting findings
+// through r.
+func gate(ex *extract.Extractor, w workloads.Workload, verbose bool, r *reporter) error {
 	bytes := w.DefaultInputBytes()
 	rep, err := ex.Extract(w, bytes, experiments.DefaultParallelism)
 	if err != nil {
-		return 0, err
+		return err
 	}
-	count := 0
 	if verbose {
-		fmt.Printf("chopperplan: %s: %d static jobs\n", w.Name(), len(rep.Jobs))
+		fmt.Fprintf(os.Stderr, "chopperplan: %s: %d static jobs\n", w.Name(), len(rep.Jobs))
 		for i, j := range rep.Jobs {
-			fmt.Printf("  job %d (%s):\n", i, j.Action)
+			fmt.Fprintf(os.Stderr, "  job %d (%s):\n", i, j.Action)
 			for _, sh := range extract.Shape(j.Plan, j.Topo) {
-				fmt.Printf("    %s\n", sh)
+				fmt.Fprintf(os.Stderr, "    %s\n", sh)
 			}
 		}
 	}
 
 	lim := verify.DefaultLimits(cluster.PaperCluster())
 	for _, v := range rep.Verify(lim) {
-		count++
-		fmt.Printf("%s: static plan: %s\n", w.Name(), v)
+		r.finding("plan", w.Name(), v.String())
 	}
 
 	var cap extract.Capture
 	if _, _, err := experiments.RunWorkload(w, bytes, experiments.Options{OnPlan: cap.Hook()}); err != nil {
-		return count, err
+		return err
 	}
 	for _, d := range extract.Drift(rep, cap.Jobs()) {
-		count++
-		fmt.Printf("%s: drift: %s\n", w.Name(), d)
+		r.finding("drift", w.Name(), d)
 	}
-	return count, nil
+	return nil
 }
 
 func fail(err error) int {

@@ -16,11 +16,14 @@
 //
 // Usage:
 //
-//	chopperverify [-workload=all|kmeans|pca|sql|pagerank] [-shrink=N] [-v]
+//	chopperverify [-workload=all|kmeans|pca|sql|pagerank] [-shrink=N] [-v] [-json]
 //
 // Datasets are shrunk by -shrink (default 6) so the sweep stays fast;
 // logical sizes and the cost model are unchanged, so the plans exercised
-// are the real ones. Exit status: 0 clean, 1 violations, 2 run error.
+// are the real ones. The -json flag emits findings on stdout in the
+// unified wire schema shared by the gate CLIs (tool/rule/pos/msg/
+// severity); human-readable lines move to stderr. Exit status: 0 clean,
+// 1 violations, 2 run error.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"chopper/internal/core"
 	"chopper/internal/dag"
 	"chopper/internal/experiments"
+	"chopper/internal/lint"
 	"chopper/internal/plan/extract"
 	"chopper/internal/plan/verify"
 	"chopper/internal/rdd"
@@ -43,11 +47,31 @@ func main() {
 	shrink := flag.Int("shrink", 6, "dataset shrink factor for fast runs (1 = paper size)")
 	verbose := flag.Bool("v", false, "list every run, not just violations")
 	static := flag.Bool("static", false, "additionally extract each workload's plans statically (internal/plan/extract), verify them, and diff them against the vanilla run's submitted plans")
+	jsonOut := flag.Bool("json", false, "emit findings on stdout in the unified wire-JSON schema")
 	flag.Parse()
-	os.Exit(run(*workload, *shrink, *verbose, *static))
+	os.Exit(run(*workload, *shrink, *verbose, *static, *jsonOut))
 }
 
-func run(name string, shrink int, verbose, static bool) int {
+// reporter accumulates findings in the unified wire schema while printing
+// human-readable lines (to stdout normally, stderr under -json, which
+// reserves stdout for the array).
+type reporter struct {
+	json bool
+	wire []lint.WireDiagnostic
+}
+
+func (r *reporter) finding(rule, pos, msg string) {
+	r.wire = append(r.wire, lint.WireDiagnostic{
+		Tool: "chopperverify", Rule: rule, Pos: pos, Msg: msg, Severity: "error",
+	})
+	out := os.Stdout
+	if r.json {
+		out = os.Stderr
+	}
+	_, _ = fmt.Fprintf(out, "%s: %s: %s\n", pos, rule, msg)
+}
+
+func run(name string, shrink int, verbose, static, jsonOut bool) int {
 	var targets []workloads.Workload
 	if name == "all" {
 		targets = workloads.AllWithExtensions()
@@ -67,21 +91,24 @@ func run(name string, shrink int, verbose, static bool) int {
 		}
 	}
 
-	total := 0
+	rep := &reporter{json: jsonOut}
 	for _, w := range targets {
 		workloads.Shrink(w, shrink)
-		n, err := verifyWorkload(w, ex, verbose)
-		if err != nil {
+		if err := verifyWorkload(w, ex, verbose, rep); err != nil {
 			return fail(fmt.Errorf("%s: %w", w.Name(), err))
 		}
-		total += n
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "chopperverify: %d violation(s)\n", total)
+	if jsonOut {
+		if err := lint.WriteWire(os.Stdout, rep.wire); err != nil {
+			return fail(err)
+		}
+	}
+	if len(rep.wire) > 0 {
+		fmt.Fprintf(os.Stderr, "chopperverify: %d violation(s)\n", len(rep.wire))
 		return 1
 	}
 	if verbose {
-		fmt.Println("chopperverify: all plans and configurations verified clean")
+		fmt.Fprintln(os.Stderr, "chopperverify: all plans and configurations verified clean")
 	}
 	return 0
 }
@@ -91,27 +118,24 @@ func run(name string, shrink int, verbose, static bool) int {
 // additionally extracts the workload's plans statically, verifies them, and
 // diffs them against the vanilla run's submitted plans (the chopperplan
 // drift gate, inline). Returns the count.
-func verifyWorkload(w workloads.Workload, ex *extract.Extractor, verbose bool) (int, error) {
-	count := 0
+func verifyWorkload(w workloads.Workload, ex *extract.Extractor, verbose bool, r *reporter) error {
 	planObserver := func(label string) func([]verify.Violation) {
 		return func(vs []verify.Violation) {
 			for _, v := range vs {
-				count++
-				fmt.Printf("%s/%s: plan: %s\n", w.Name(), label, v)
+				r.finding("plan", w.Name()+"/"+label, v.String())
 			}
 		}
 	}
 	schemeObserver := func(label string) func(string, []core.SchemeViolation) {
 		return func(_ string, vs []core.SchemeViolation) {
 			for _, v := range vs {
-				count++
-				fmt.Printf("%s/%s: config: %s\n", w.Name(), label, v)
+				r.finding("config", w.Name()+"/"+label, v.String())
 			}
 		}
 	}
 	step := func(label string) {
 		if verbose {
-			fmt.Printf("chopperverify: %s: %s\n", w.Name(), label)
+			fmt.Fprintf(os.Stderr, "chopperverify: %s: %s\n", w.Name(), label)
 		}
 	}
 	bytes := w.DefaultInputBytes()
@@ -124,11 +148,10 @@ func verifyWorkload(w workloads.Workload, ex *extract.Extractor, verbose bool) (
 		step("static-extract")
 		var err error
 		if rep, err = ex.Extract(w, bytes, experiments.DefaultParallelism); err != nil {
-			return count, err
+			return err
 		}
 		for _, v := range rep.Verify(verify.DefaultLimits(cluster.PaperCluster())) {
-			count++
-			fmt.Printf("%s/static: plan: %s\n", w.Name(), v)
+			r.finding("plan", w.Name()+"/static", v.String())
 		}
 	}
 
@@ -150,13 +173,12 @@ func verifyWorkload(w workloads.Workload, ex *extract.Extractor, verbose bool) (
 			opt.OnPlan = cap.Hook()
 		}
 		if _, _, err := experiments.RunWorkload(w, bytes, opt); err != nil {
-			return count, err
+			return err
 		}
 	}
 	if rep != nil {
 		for _, d := range extract.Drift(rep, cap.Jobs()) {
-			count++
-			fmt.Printf("%s/static: drift: %s\n", w.Name(), d)
+			r.finding("drift", w.Name()+"/static", d)
 		}
 	}
 
@@ -174,9 +196,9 @@ func verifyWorkload(w workloads.Workload, ex *extract.Extractor, verbose bool) (
 		OnSchemeViolations: schemeObserver("chopper-pipeline"),
 	}
 	if _, err := experiments.Compare(w, bytes, plan, opt); err != nil {
-		return count, err
+		return err
 	}
-	return count, nil
+	return nil
 }
 
 func fail(err error) int {

@@ -44,7 +44,7 @@ func (r *Recorder) Observations(col *metrics.Collector, isDefault bool) []StageO
 		out = append(out, StageObservation{
 			Signature:   st.Signature,
 			Name:        st.Name,
-			ParentSigs:  info.ParentSigs,
+			ParentSigs:  append([]string(nil), info.ParentSigs...),
 			Fixed:       info.Fixed,
 			IsJoinLike:  info.IsJoinLike,
 			IsResult:    info.IsResult,

@@ -1,0 +1,85 @@
+// copyescape verifies the copy-on-read contract: an accessor that locks a
+// guarded type's mutex and returns data must return a deep copy — no
+// aliasing path (returned map, slice, pointer, or struct with a still-
+// shared reference field) may lead back to the guarded internals, or the
+// caller ends up reading and racing the live state after the lock is gone.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+
+	"chopper/internal/lint/ssa"
+)
+
+// CopyEscape proves copy-on-read accessors of guarded types return values
+// with no aliasing path back to guarded state, per-path over the CFG.
+var CopyEscape = &Analyzer{
+	Name: "copyescape",
+	Doc:  "locking accessors of guarded types must return deep copies, never aliases of guarded maps/slices",
+	Run: func(f *File) []Diagnostic {
+		return guardDiags(f, "copyescape")
+	},
+}
+
+// checkCopyEscape runs the alias dataflow over every method of a guarded
+// type that takes its own receiver lock and returns reference-carrying
+// values.
+func (gp *guardProgram) checkCopyEscape() {
+	for _, name := range gp.order {
+		gf := gp.funcs[name]
+		if !gf.analyzed || gf.recvType == nil || !gf.acquiresOwnLock() {
+			continue
+		}
+		if !gf.returnsImpure() {
+			continue
+		}
+		for _, pos := range gp.returnFindings(gf) {
+			gp.diag(pos, "copyescape", fmt.Sprintf(
+				"%s returns a value that may alias guarded state of %s; copy-on-read accessors must return deep copies",
+				gf.display, gf.recvType.id))
+		}
+	}
+}
+
+// acquiresOwnLock reports whether gf locks a mutex of its own receiver
+// anywhere in its body (the accessor signature).
+func (gf *guardFunc) acquiresOwnLock() bool {
+	if gf.recvName == "" || gf.recvType == nil {
+		return false
+	}
+	found := false
+	for _, b := range gf.fn.Blocks {
+		for _, n := range b.Nodes {
+			ssa.InspectShallow(n, func(m ast.Node) bool {
+				if _, isDefer := m.(*ast.DeferStmt); isDefer {
+					return false
+				}
+				if c, ok := m.(*ast.CallExpr); ok {
+					if op, isOp := gf.lockOpFor(c); isOp && !op.release {
+						for _, mx := range gf.recvType.mutexes {
+							if op.key == gf.recvName+"."+mx {
+								found = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return found
+}
+
+// returnsImpure reports whether any result type carries references.
+func (gf *guardFunc) returnsImpure() bool {
+	if gf.decl == nil || gf.decl.Type.Results == nil {
+		return false
+	}
+	for _, f := range gf.decl.Type.Results.List {
+		if t := gf.info.TypeOf(f.Type); t != nil && !typeIsPure(t) {
+			return true
+		}
+	}
+	return false
+}

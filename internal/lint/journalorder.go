@@ -1,0 +1,413 @@
+// journalorder verifies the durability protocol: (1) every mutation of a
+// journaled type's guarded containers, made in a write-lock section the
+// function itself opened, must be followed by an invocation of the type's
+// journal hook (core.DB's observer → Store.Append) before that section is
+// released — otherwise replay order diverges from mutation order; and
+// (2) no request may be acknowledged (HTTP response write, channel send)
+// before a call that journals a DB mutation — a crash after the ack would
+// lose an acknowledged write — nor may such a mutation be detached onto an
+// unsupervised goroutine.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+
+	"chopper/internal/lint/ssa"
+)
+
+// JournalOrder pairs DB mutations with journal appends in the same
+// write-lock critical section and forbids acknowledging before the append.
+var JournalOrder = &Analyzer{
+	Name: "journalorder",
+	Doc:  "DB mutations must be journaled inside their write-lock section; never acknowledge a request before the append returns",
+	Run: func(f *File) []Diagnostic {
+		return guardDiags(f, "journalorder")
+	},
+}
+
+// buildMutates computes which methods mutate a guarded container field of
+// their own receiver, directly or through same-receiver callees.
+func (gp *guardProgram) buildMutates() {
+	for {
+		changed := false
+		for _, name := range gp.order {
+			gf := gp.funcs[name]
+			if !gf.analyzed || gf.recvType == nil || gp.mutates[name] {
+				continue
+			}
+			if gp.mutatesDirect(gf) {
+				gp.mutates[name] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func (gp *guardProgram) mutatesDirect(gf *guardFunc) bool {
+	for _, blockEvs := range gp.events[gf.name] {
+		for _, ev := range blockEvs {
+			switch ev.kind {
+			case gevAccess:
+				if ev.write && ev.baseKey == gf.recvName && ev.gt == gf.recvType && ev.gt.container[ev.field] {
+					return true
+				}
+			case gevCall:
+				if ev.baseKey == gf.recvName && gp.mutates[ev.callee] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// buildAcks computes which functions can acknowledge a request: a direct
+// response write / channel send, or a call to a function that can.
+func (gp *guardProgram) buildAcks() {
+	for {
+		changed := false
+		for _, name := range gp.order {
+			gf := gp.funcs[name]
+			if !gf.analyzed || gp.acks[name] {
+				continue
+			}
+			if gp.acksDirect(gf) {
+				gp.acks[name] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func (gp *guardProgram) acksDirect(gf *guardFunc) bool {
+	for _, blockEvs := range gp.events[gf.name] {
+		for _, ev := range blockEvs {
+			if ev.kind == gevAck {
+				return true
+			}
+			if ev.kind == gevCall && gp.acks[ev.callee] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildMutators computes the transitive closure of functions reaching a
+// journaled mutation (a guarded-container write on a hook-bearing type),
+// over every loaded package — the chopper root resolves the handler →
+// Tuner.Observe → Session.harvest → DB.AddRun chain.
+func (gp *guardProgram) buildMutators() {
+	calls := map[string][]string{}
+	for _, name := range gp.order {
+		gf := gp.funcs[name]
+		if gf.analyzed {
+			for _, blockEvs := range gp.events[name] {
+				for _, ev := range blockEvs {
+					if (ev.kind == gevCall || ev.kind == gevGo) && ev.callee != "" {
+						calls[name] = append(calls[name], ev.callee)
+					}
+				}
+			}
+			// Seed: a direct guarded-container write on a hook-bearing type.
+			for _, blockEvs := range gp.events[name] {
+				for _, ev := range blockEvs {
+					if ev.kind == gevAccess && ev.write && !ev.freshB && ev.gt.hook != "" && ev.gt.container[ev.field] {
+						gp.mutators[name] = true
+					}
+				}
+			}
+			continue
+		}
+		// Call-graph-only packages: a plain AST walk collects static callees.
+		body := astBody(gf)
+		if body == nil {
+			continue
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit != body {
+				return false
+			}
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if target := gf.callTarget(gp, c); target != "" {
+				calls[name] = append(calls[name], target)
+			}
+			return true
+		})
+	}
+	for {
+		changed := false
+		for _, name := range gp.order {
+			if gp.mutators[name] {
+				continue
+			}
+			for _, callee := range calls[name] {
+				if gp.mutators[callee] {
+					gp.mutators[name] = true
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func astBody(gf *guardFunc) ast.Node {
+	if gf.decl != nil {
+		return gf.decl.Body
+	}
+	if gf.lit != nil {
+		return gf.lit.Body
+	}
+	return nil
+}
+
+// checkJournalOrder runs both halves of the protocol check.
+func (gp *guardProgram) checkJournalOrder() {
+	for _, name := range gp.order {
+		gf := gp.funcs[name]
+		if !gf.analyzed {
+			continue
+		}
+		gp.checkJournalSections(gf)
+		gp.checkAckOrder(gf)
+	}
+}
+
+// checkJournalSections verifies half (1): in every write-lock section gf
+// itself opened on a hook-bearing type, each container mutation must have
+// the hook invoked later in the same section. A backward may-analysis
+// computes "hook reachable before this section releases" per lock key.
+func (gp *guardProgram) checkJournalSections(gf *guardFunc) {
+	evs := gp.events[gf.name]
+	// Collect the mutation events and the lock keys they belong to.
+	type mut struct {
+		block, idx int
+		key        string
+		ev         gEvent
+	}
+	var muts []mut
+	for bi, blockEvs := range evs {
+		for i, ev := range blockEvs {
+			key, ok := gp.journaledMutation(ev)
+			if !ok {
+				continue
+			}
+			muts = append(muts, mut{block: bi, idx: i, key: key, ev: ev})
+		}
+	}
+	if len(muts) == 0 {
+		return
+	}
+	keys := map[string]bool{}
+	for _, m := range muts {
+		keys[m.key] = true
+	}
+	for key := range keys {
+		reach := gp.hookReach(gf, key)
+		for _, m := range muts {
+			if m.key != key {
+				continue
+			}
+			// Replay the block backward from its exit fact to the mutation.
+			blockEvs := evs[m.block]
+			fact := reach.In[m.block]
+			for i := len(blockEvs) - 1; i > m.idx; i-- {
+				fact = hookStep(blockEvs[i], key, fact)
+			}
+			if fact == hrNoHook {
+				what := m.ev.gt.id + "." + m.ev.field
+				if m.ev.kind == gevCall {
+					what = "call to " + gp.shortName(m.ev.callee)
+				}
+				gp.diag(m.ev.pos, "journalorder", fmt.Sprintf(
+					"%s mutates journaled state of %s but no %s.%s invocation follows in this write-lock section; replay order will diverge from mutation order",
+					what, m.ev.gt.id, m.ev.gt.id, m.ev.gt.hook))
+			}
+		}
+	}
+}
+
+// journaledMutation classifies an event as a journal-requiring mutation
+// and returns the write-lock key of the section it happens in. Only
+// sections the function opened itself count — inherited sections are the
+// caller's pairing responsibility (the call event at that site is the
+// caller's mutation event).
+func (gp *guardProgram) journaledMutation(ev gEvent) (string, bool) {
+	var gt *guardType
+	switch ev.kind {
+	case gevAccess:
+		if !ev.write || ev.freshB || ev.gt.hook == "" || !ev.gt.container[ev.field] {
+			return "", false
+		}
+		gt = ev.gt
+	case gevCall:
+		if ev.gt == nil || ev.gt.hook == "" || !gp.mutates[ev.callee] {
+			return "", false
+		}
+		gt = ev.gt
+	default:
+		return "", false
+	}
+	for _, m := range gt.mutexes {
+		key := ev.baseKey + "." + m
+		if v := ev.held[key]; v&3 == lockWrite && v&lockOwn != 0 {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+// hookReach lattice: the solver is change-driven, so reachability itself
+// must be a lattice level — a plain bool with false bottom would leave
+// every non-boundary block unvisited (its in-fact never changes) and the
+// hook generation inside Transfer would never run.
+const (
+	hrUnreached = 0 // bottom: no path to exit computed yet
+	hrNoHook    = 1 // reaches exit, no hook before the section releases
+	hrHook      = 2 // a hook call is reachable while the section continues
+)
+
+// hookReach solves the backward may-analysis "a journal-hook call is
+// reachable before the write section for key ends" over gf's CFG.
+func (gp *guardProgram) hookReach(gf *guardFunc, key string) *ssa.Result[int] {
+	evs := gp.events[gf.name]
+	an := &ssa.Analysis[int]{
+		Dir:    ssa.Backward,
+		Bottom: func() int { return hrUnreached },
+		Entry:  func() int { return hrNoHook },
+		Join: func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		Equal: func(a, b int) bool { return a == b },
+		Transfer: func(b *ssa.Block, in int) int {
+			if in == hrUnreached {
+				return hrUnreached
+			}
+			fact := in
+			blockEvs := evs[b.Index]
+			for i := len(blockEvs) - 1; i >= 0; i-- {
+				fact = hookStep(blockEvs[i], key, fact)
+			}
+			return fact
+		},
+	}
+	return an.Solve(gf.fn)
+}
+
+// hookStep applies one event in backward order: a hook call makes the
+// journal reachable; releasing the section's write lock ends it.
+func hookStep(ev gEvent, key string, fact int) int {
+	switch ev.kind {
+	case gevHook:
+		if hasLockPrefix(key, ev.baseKey) {
+			return hrHook
+		}
+	case gevRelease:
+		if ev.mode == lockWrite && ev.lockKey == key {
+			return hrNoHook
+		}
+	}
+	return fact
+}
+
+// hasLockPrefix matches a lock key "d.mu" against the hook's base "d".
+func hasLockPrefix(key, base string) bool {
+	return len(key) > len(base) && key[:len(base)] == base && key[len(base)] == '.'
+}
+
+// checkAckOrder verifies half (2): no static call that reaches a journaled
+// DB mutation may execute after the request was already acknowledged, and
+// no go statement may detach one.
+func (gp *guardProgram) checkAckOrder(gf *guardFunc) {
+	evs := gp.events[gf.name]
+	// Forward may-analysis: "an acknowledgement has happened".
+	an := &ssa.Analysis[int]{
+		Dir:    ssa.Forward,
+		Bottom: func() int { return 0 }, // 0 unreachable, 1 clean, 2 acked
+		Entry:  func() int { return 1 },
+		Join: func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		Equal: func(a, b int) bool { return a == b },
+		Transfer: func(b *ssa.Block, in int) int {
+			if in == 0 {
+				return 0
+			}
+			fact := in
+			for _, ev := range evs[b.Index] {
+				fact = ackStep(gp, ev, fact)
+			}
+			return fact
+		},
+	}
+	res := an.Solve(gf.fn)
+	for _, b := range gf.fn.Blocks {
+		fact := res.In[b.Index]
+		if fact == 0 {
+			continue
+		}
+		for _, ev := range evs[b.Index] {
+			switch ev.kind {
+			case gevGo:
+				if ev.callee != "" && gp.mutators[ev.callee] {
+					gp.diag(ev.pos, "journalorder", fmt.Sprintf(
+						"go statement detaches %s, which journals a DB mutation, from the request's durability ordering; run it synchronously before acknowledging",
+						gp.shortName(ev.callee)))
+				}
+			case gevCall:
+				if fact == 2 && gp.mutators[ev.callee] {
+					gp.diag(ev.pos, "journalorder", fmt.Sprintf(
+						"call to %s journals a DB mutation after the request was already acknowledged; a crash here loses an acknowledged write — acknowledge only after the append returns",
+						gp.shortName(ev.callee)))
+				}
+			}
+			fact = ackStep(gp, ev, fact)
+		}
+	}
+}
+
+// ackStep applies one event to the acked fact.
+func ackStep(gp *guardProgram, ev gEvent, fact int) int {
+	if ev.kind == gevAck {
+		return 2
+	}
+	if ev.kind == gevCall && gp.acks[ev.callee] {
+		return 2
+	}
+	return fact
+}
+
+// shortName renders a callee FullName for messages, preferring the
+// declaration's display form ("(*DB).AddRun") over the package-qualified
+// FullName.
+func (gp *guardProgram) shortName(full string) string {
+	if gf := gp.funcs[full]; gf != nil {
+		return gf.display
+	}
+	for i := len(full) - 1; i >= 0; i-- {
+		if full[i] == '/' {
+			return full[i+1:]
+		}
+	}
+	return full
+}

@@ -31,8 +31,24 @@
 // The last three rules run on the SSA-lite IR (internal/lint/ssa): basic
 // blocks with edge-labeled branch conditions and a lattice dataflow engine.
 //
+// A second family, chopperguard (Guard), verifies the concurrency and
+// durability contracts of the service layer on the same IR:
+//
+//	lockcontract — guarded fields (inferred from write-under-lock evidence)
+//	               must be accessed with their mutex held, write mode for
+//	               mutation
+//	copyescape   — copy-on-read accessors must return deep copies with no
+//	               aliasing path back to guarded maps/slices
+//	journalorder — DB mutations must be journaled (observer hook → Store
+//	               append) inside their write-lock section, and never after
+//	               the request was acknowledged
+//	tocou        — a decision from a read-locked load must be re-checked
+//	               under the write lock before acting (TOCTOU)
+//
 // Findings can be suppressed with a trailing or preceding comment of the
-// form `//lint:ignore <rule> <reason>`; the reason is mandatory.
+// form `//lint:ignore <rule> <reason>`; the reason is mandatory, and the
+// directives are themselves audited: a reasonless or unused directive is
+// reported as a `suppression` finding (which cannot itself be suppressed).
 //
 // The suite is stdlib-only (go/parser, go/ast, go/token, go/types) so the
 // module keeps its zero-dependency property.
@@ -123,10 +139,22 @@ func All() []*Analyzer {
 	return []*Analyzer{WallTime, GlobalRand, MapOrder, DroppedErr, ClosureCapture, SharedEscape, LockOrder, NilFlow, CtxLeak}
 }
 
-// ByName resolves analyzer names (the -rules flag) to analyzers.
+// Guard returns the chopperguard rule family: lock-contract and
+// durability-protocol verification of the core/service packages. Kept out
+// of All() — these rules are scoped to their contract-bearing packages and
+// ship as their own CLI (cmd/chopperguard).
+func Guard() []*Analyzer {
+	return []*Analyzer{LockContract, CopyEscape, JournalOrder, Tocou}
+}
+
+// ByName resolves analyzer names (the -rules flag) to analyzers, across
+// both the chopperlint suite and the chopperguard family.
 func ByName(names []string) ([]*Analyzer, error) {
 	byName := map[string]*Analyzer{}
 	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	for _, a := range Guard() {
 		byName[a.Name] = a
 	}
 	var out []*Analyzer
@@ -167,6 +195,10 @@ func (p *Package) graph() *callGraph {
 // Run applies the analyzers to every file of pkg, filters suppressed
 // findings, and returns the rest sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	var out []Diagnostic
 	for _, astFile := range pkg.Files {
 		f := &File{Fset: pkg.Fset, AST: astFile, Path: pkg.Path, Info: pkg.Info, Pkg: pkg}
@@ -179,6 +211,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 				out = append(out, d)
 			}
 		}
+		out = append(out, sup.audit(f, ran)...)
 	}
 	// Nested constructs (a map range inside a map range) can report the
 	// same finding twice; SortDiagnostics drops the duplicate.
@@ -187,15 +220,18 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 
 // suppression is one parsed //lint:ignore directive.
 type suppression struct {
-	line int
-	rule string
+	line, col int
+	rule      string
+	hasReason bool
+	used      bool
 }
 
-type suppressionSet []suppression
+type suppressionSet []*suppression
 
-// suppressions extracts every well-formed `//lint:ignore <rule> <reason>`
-// directive of the file. Directives without a reason are ignored (and the
-// finding therefore stands), which keeps suppressions self-documenting.
+// suppressions extracts every `//lint:ignore <rule> [reason]` directive of
+// the file. Only directives with a reason actually suppress — the reason is
+// what keeps suppressions self-documenting — but reasonless ones are kept
+// so the audit can report them.
 func suppressions(f *File) suppressionSet {
 	var out suppressionSet
 	for _, cg := range f.AST.Comments {
@@ -205,27 +241,62 @@ func suppressions(f *File) suppressionSet {
 				continue
 			}
 			fields := strings.Fields(text)
-			if len(fields) < 3 {
+			if len(fields) < 2 {
 				continue
 			}
-			out = append(out, suppression{line: f.Fset.Position(c.Pos()).Line, rule: fields[1]})
+			p := f.Fset.Position(c.Pos())
+			out = append(out, &suppression{
+				line: p.Line, col: p.Column,
+				rule:      fields[1],
+				hasReason: len(fields) >= 3,
+			})
 		}
 	}
 	return out
 }
 
 // covers reports whether a directive on the diagnostic's line, or on the
-// line directly above it, names the diagnostic's rule (or "all").
+// line directly above it, names the diagnostic's rule (or "all"). Matching
+// directives are marked used for the audit.
 func (s suppressionSet) covers(d Diagnostic) bool {
+	hit := false
 	for _, sup := range s {
+		if !sup.hasReason {
+			continue
+		}
 		if sup.rule != d.Rule && sup.rule != "all" {
 			continue
 		}
 		if sup.line == d.Line || sup.line == d.Line-1 {
-			return true
+			sup.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// audit reports defective directives: a suppression without a reason (which
+// therefore suppressed nothing), and a well-formed suppression that matched
+// no finding of an analyzer that ran (stale — the code it excused is gone).
+// "all" directives are exempt from the staleness check since any single run
+// exercises only a subset of rules. Audit findings carry the rule name
+// "suppression" and cannot themselves be suppressed.
+func (s suppressionSet) audit(f *File, ran map[string]bool) []Diagnostic {
+	fileName := f.Fset.Position(f.AST.Pos()).Filename
+	var out []Diagnostic
+	for _, sup := range s {
+		d := Diagnostic{File: fileName, Line: sup.line, Col: sup.col, Rule: "suppression"}
+		switch {
+		case !sup.hasReason:
+			d.Message = fmt.Sprintf("lint:ignore %s has no reason; a suppression must say why the finding is acceptable", sup.rule)
+		case !sup.used && sup.rule != "all" && ran[sup.rule]:
+			d.Message = fmt.Sprintf("lint:ignore %s suppresses no finding; remove the stale directive", sup.rule)
+		default:
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // WriteText renders diagnostics one per line in compiler format.
@@ -246,6 +317,54 @@ func WriteJSON(w io.Writer, diags []Diagnostic) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(diags)
+}
+
+// WireDiagnostic is the unified machine-readable finding schema shared by
+// every gate CLI (chopperlint, chopperguard, chopperverify, chopperplan);
+// ci.sh merges the per-tool arrays into one lint.json artifact.
+type WireDiagnostic struct {
+	Tool     string `json:"tool"`
+	Rule     string `json:"rule"`
+	Pos      string `json:"pos"` // file:line:col, or a logical position
+	Msg      string `json:"msg"`
+	Severity string `json:"severity"` // "error" or "warning"
+}
+
+// Wire converts a lint Diagnostic to the shared schema. Suppression-audit
+// findings are warnings (hygiene, not correctness); everything else is an
+// error.
+func Wire(tool string, d Diagnostic) WireDiagnostic {
+	sev := "error"
+	if d.Rule == "suppression" {
+		sev = "warning"
+	}
+	return WireDiagnostic{
+		Tool:     tool,
+		Rule:     d.Rule,
+		Pos:      fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col),
+		Msg:      d.Message,
+		Severity: sev,
+	}
+}
+
+// WriteJSONTool renders diagnostics as an indented array of the shared
+// wire schema under the given tool name.
+func WriteJSONTool(w io.Writer, tool string, diags []Diagnostic) error {
+	wire := make([]WireDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		wire = append(wire, Wire(tool, d))
+	}
+	return WriteWire(w, wire)
+}
+
+// WriteWire renders an already-converted wire array.
+func WriteWire(w io.Writer, wire []WireDiagnostic) error {
+	if wire == nil {
+		wire = []WireDiagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wire)
 }
 
 // importNames returns the local names under which path is imported in the

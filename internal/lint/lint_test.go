@@ -30,6 +30,10 @@ var goldenCases = []struct {
 	{lint.LockOrder, "lockorder", "chopper/internal/exec"},
 	{lint.NilFlow, "nilflow", "chopper/internal/dag"},
 	{lint.CtxLeak, "ctxleak", "chopper/internal/exec"},
+	{lint.LockContract, "lockcontract", "chopper/internal/core"},
+	{lint.CopyEscape, "copyescape", "chopper/internal/core"},
+	{lint.JournalOrder, "journalorder", "chopper/internal/core"},
+	{lint.Tocou, "tocou", "chopper/internal/core"},
 }
 
 func moduleRoot(t *testing.T) string {

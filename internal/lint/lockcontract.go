@@ -1,0 +1,55 @@
+// lockcontract verifies the inferred lock contracts of the guarded types:
+// every access to a field with write-under-lock evidence must hold the
+// guarding mutex, and mutations must hold it in write mode — mutating
+// under RLock is the classic torn-update bug the RWMutex cannot catch at
+// runtime.
+package lint
+
+import "fmt"
+
+// LockContract flags guarded-field accesses on paths where the inferred
+// guarding mutex is not held (or held only for reading while writing).
+var LockContract = &Analyzer{
+	Name: "lockcontract",
+	Doc:  "guarded fields of core/service types must be accessed with their inferred mutex held, in write mode for mutation",
+	Run: func(f *File) []Diagnostic {
+		return guardDiags(f, "lockcontract")
+	},
+}
+
+// checkLockContract replays every analyzed function's accesses against the
+// solved held-lock facts.
+func (gp *guardProgram) checkLockContract() {
+	for _, name := range gp.order {
+		gf := gp.funcs[name]
+		if !gf.analyzed {
+			continue
+		}
+		for _, blockEvs := range gp.events[name] {
+			for _, ev := range blockEvs {
+				if ev.kind != gevAccess || ev.freshB {
+					continue
+				}
+				m := ev.gt.guards[ev.field]
+				if m == "" {
+					continue // no locked-write evidence: not a guarded field
+				}
+				mode := ev.held[ev.baseKey+"."+m] & 3
+				switch {
+				case mode == 0:
+					verb := "read"
+					if ev.write {
+						verb = "written"
+					}
+					gp.diag(ev.pos, "lockcontract", fmt.Sprintf(
+						"%s.%s is guarded by %s.%s but is %s here with no lock held",
+						ev.gt.id, ev.field, ev.gt.id, m, verb))
+				case ev.write && mode == lockRead:
+					gp.diag(ev.pos, "lockcontract", fmt.Sprintf(
+						"%s.%s is written while %s.%s is held in read mode; mutation requires the write lock",
+						ev.gt.id, ev.field, ev.gt.id, m))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package cefix
+
+import "sync"
+
+type cloneDB struct {
+	mu   sync.RWMutex
+	vals map[string][]string
+}
+
+func (d *cloneDB) Set(k string, v []string) {
+	d.mu.Lock()
+	d.vals[k] = v
+	d.mu.Unlock()
+}
+
+// Snapshot deep-copies: fresh map, fresh backing array per slice.
+func (d *cloneDB) Snapshot() map[string][]string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[string][]string, len(d.vals))
+	for k, vs := range d.vals {
+		out[k] = append([]string(nil), vs...)
+	}
+	return out
+}
+
+type rec struct {
+	name string
+	tags []string
+}
+
+type infoDB struct {
+	mu   sync.Mutex
+	recs map[string]rec
+}
+
+func (d *infoDB) Put(k string, r rec) {
+	d.mu.Lock()
+	d.recs[k] = r
+	d.mu.Unlock()
+}
+
+// Info returns a struct copy whose only reference field is re-allocated,
+// severing every aliasing path back to the guarded map.
+func (d *infoDB) Info(k string) rec {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r := d.recs[k]
+	r.tags = append([]string(nil), r.tags...)
+	return r
+}

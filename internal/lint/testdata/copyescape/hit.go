@@ -1,0 +1,28 @@
+package cefix
+
+import "sync"
+
+type snapDB struct {
+	mu    sync.RWMutex
+	nodes map[string][]string
+}
+
+func (d *snapDB) SetNode(k string, vs []string) {
+	d.mu.Lock()
+	d.nodes[k] = vs
+	d.mu.Unlock()
+}
+
+// Nodes hands the caller the live guarded map.
+func (d *snapDB) Nodes() map[string][]string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.nodes
+}
+
+// Parents hands the caller a slice still shared with the guarded map.
+func (d *snapDB) Parents(k string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.nodes[k]
+}

@@ -1,0 +1,22 @@
+package cefix
+
+import "sync"
+
+type rawDB struct {
+	mu   sync.RWMutex
+	data map[string]int
+}
+
+func (d *rawDB) Put(k string, v int) {
+	d.mu.Lock()
+	d.data[k] = v
+	d.mu.Unlock()
+}
+
+// Raw intentionally leaks the live map to a single trusted caller.
+func (d *rawDB) Raw() map[string]int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	//lint:ignore copyescape single caller is the snapshot writer, which copies immediately
+	return d.data
+}

@@ -1,0 +1,38 @@
+package jofix
+
+import "sync"
+
+type okDB struct {
+	mu       sync.Mutex
+	observer func(string)
+	items    map[string]int
+}
+
+func (d *okDB) Watch(fn func(string)) {
+	d.mu.Lock()
+	d.observer = fn
+	d.mu.Unlock()
+}
+
+// Add journals inside the write section, then acknowledges nothing until
+// the mutation is durable.
+func (d *okDB) Add(k string, v int) {
+	d.mu.Lock()
+	d.items[k] = v
+	if d.observer != nil {
+		d.observer(k)
+	}
+	d.mu.Unlock()
+}
+
+// plainDB has no journal hook, so its mutations need no pairing.
+type plainDB struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+func (d *plainDB) Touch(k string) {
+	d.mu.Lock()
+	d.items[k]++
+	d.mu.Unlock()
+}

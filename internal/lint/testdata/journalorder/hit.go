@@ -1,0 +1,50 @@
+package jofix
+
+import "sync"
+
+// journalDB mirrors core.DB's shape: a mutex, a journal hook, and mutable
+// container state.
+type journalDB struct {
+	mu       sync.Mutex
+	observer func(string)
+	runs     map[string]int
+}
+
+func (d *journalDB) SetObserver(fn func(string)) {
+	d.mu.Lock()
+	d.observer = fn
+	d.mu.Unlock()
+}
+
+// Record mutates inside the lock but journals only after releasing it: a
+// concurrent Record can interleave, so replay order diverges.
+func (d *journalDB) Record(k string) {
+	d.mu.Lock()
+	d.runs[k]++
+	d.mu.Unlock()
+	if d.observer != nil {
+		d.observer(k)
+	}
+}
+
+// addRun is the correct shape: mutation and hook in one write section.
+func (d *journalDB) addRun(k string) {
+	d.mu.Lock()
+	d.runs[k]++
+	if d.observer != nil {
+		d.observer(k)
+	}
+	d.mu.Unlock()
+}
+
+// ackHandler acknowledges the request before the journaled mutation: a
+// crash between the send and addRun loses an acknowledged write.
+func (d *journalDB) ackHandler(done chan struct{}, k string) {
+	done <- struct{}{}
+	d.addRun(k)
+}
+
+// asyncRecord detaches the journaled mutation onto a goroutine.
+func (d *journalDB) asyncRecord(k string) {
+	go d.addRun(k)
+}

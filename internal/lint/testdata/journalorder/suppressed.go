@@ -1,0 +1,24 @@
+package jofix
+
+import "sync"
+
+type supDB struct {
+	mu       sync.Mutex
+	observer func(string)
+	evs      map[string]int
+}
+
+func (d *supDB) Hook(fn func(string)) {
+	d.mu.Lock()
+	d.observer = fn
+	d.mu.Unlock()
+}
+
+// Warm pre-populates the cache side of the map; losing these entries on
+// replay is acceptable, as the directive records.
+func (d *supDB) Warm(k string) {
+	d.mu.Lock()
+	//lint:ignore journalorder replay tolerates unjournaled cache warm-up entries
+	d.evs[k]++
+	d.mu.Unlock()
+}

@@ -1,0 +1,37 @@
+package lcfix
+
+import "sync"
+
+type cleanDB struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+// Reset delegates the write to an unexported helper; the helper inherits
+// the write-lock context from its only call site.
+func (d *cleanDB) Reset(k string, v int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.set(k, v)
+}
+
+func (d *cleanDB) set(k string, v int) {
+	d.items[k] = v
+}
+
+// Load reads under the read lock.
+func (d *cleanDB) Load(k string) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.items[k]
+}
+
+// rebuild writes a freshly allocated map before publishing it under the
+// write lock; construction of a fresh value needs no lock.
+func (d *cleanDB) rebuild() {
+	m := map[string]int{}
+	m["x"] = 1
+	d.mu.Lock()
+	d.items = m
+	d.mu.Unlock()
+}

@@ -1,0 +1,28 @@
+package lcfix
+
+import "sync"
+
+// miniDB's items map is guarded by mu: Put establishes the write-under-lock
+// evidence the guard inference keys on.
+type miniDB struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+func (d *miniDB) Put(k string, v int) {
+	d.mu.Lock()
+	d.items[k] = v
+	d.mu.Unlock()
+}
+
+// Peek reads the guarded map with no lock held.
+func (d *miniDB) Peek(k string) int {
+	return d.items[k]
+}
+
+// Bump mutates the guarded map while holding only the read lock.
+func (d *miniDB) Bump(k string) {
+	d.mu.RLock()
+	d.items[k]++
+	d.mu.RUnlock()
+}

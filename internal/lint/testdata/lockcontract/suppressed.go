@@ -1,0 +1,20 @@
+package lcfix
+
+import "sync"
+
+type tunableDB struct {
+	mu   sync.RWMutex
+	hint int
+}
+
+func (d *tunableDB) SetHint(v int) {
+	d.mu.Lock()
+	d.hint = v
+	d.mu.Unlock()
+}
+
+// FastHint deliberately skips the lock; the directive records why.
+func (d *tunableDB) FastHint() int {
+	//lint:ignore lockcontract benchmark-only racy read, staleness accepted
+	return d.hint
+}

@@ -1,0 +1,41 @@
+package tofix
+
+import "sync"
+
+type okCache struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+func (d *okCache) Put(k string, v int) {
+	d.mu.Lock()
+	d.items[k] = v
+	d.mu.Unlock()
+}
+
+// Ensure double-checks: the read-locked answer only gates the fast path,
+// and the write section re-reads before mutating.
+func (d *okCache) Ensure(k string) {
+	d.mu.RLock()
+	_, ok := d.items[k]
+	d.mu.RUnlock()
+	if !ok {
+		d.mu.Lock()
+		if _, again := d.items[k]; !again {
+			d.items[k] = 1
+		}
+		d.mu.Unlock()
+	}
+}
+
+// Hint acts on the stale value without re-acquiring the write lock; a
+// possibly stale read-only answer is not a TOCTOU.
+func (d *okCache) Hint(k string) int {
+	d.mu.RLock()
+	v := d.items[k]
+	d.mu.RUnlock()
+	if v > 0 {
+		return v
+	}
+	return 0
+}

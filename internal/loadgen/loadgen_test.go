@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// admissionServer fakes chopperd's /v1/recommend endpoint rejecting the
+// first reject requests with 429 (and the given Retry-After header, if
+// any) before answering 200.
+func admissionServer(t *testing.T, reject int64, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= reject {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, `{"error":"admission: queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+// TestRetryOn429ThenSuccess drives one recommend request into a server
+// that rejects twice before accepting: the request must be retried (with
+// the default backoff, since the server sends no usable Retry-After) and
+// ultimately succeed, counted once with two retries and no drops.
+func TestRetryOn429ThenSuccess(t *testing.T) {
+	srv, hits := admissionServer(t, 2, "")
+	res, err := Run(context.Background(), Config{
+		Base:        srv.URL,
+		Concurrency: 1,
+		Requests:    1,
+		// SubmitFraction 0 keeps every request a recommend read.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 1 || res.Recommends != 1 || res.Submits != 0 {
+		t.Fatalf("Requests/Recommends/Submits = %d/%d/%d, want 1/1/0",
+			res.Requests, res.Recommends, res.Submits)
+	}
+	if res.Retries429 != 2 {
+		t.Fatalf("Retries429 = %d, want 2", res.Retries429)
+	}
+	if res.Dropped != 0 || res.FirstError != "" {
+		t.Fatalf("Dropped/FirstError = %d/%q, want 0/\"\"", res.Dropped, res.FirstError)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 rejections + 1 success)", got)
+	}
+	if res.Hist.Count() != 1 {
+		t.Fatalf("histogram recorded %d latencies, want 1 (successes only)", res.Hist.Count())
+	}
+}
+
+// TestRetryExhaustionDrops pins the bounded-retry contract: a server that
+// never admits makes the request exhaust MaxRetries, land in Dropped with
+// the rejection as FirstError, and stay out of the latency histogram.
+func TestRetryExhaustionDrops(t *testing.T) {
+	srv, hits := admissionServer(t, 1<<30, "")
+	res, err := Run(context.Background(), Config{
+		Base:        srv.URL,
+		Concurrency: 1,
+		Requests:    1,
+		MaxRetries:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", res.Dropped)
+	}
+	if res.Retries429 != 3 {
+		t.Fatalf("Retries429 = %d, want 3 (every rejection counts, including the final one)", res.Retries429)
+	}
+	if !strings.Contains(res.FirstError, "retries exhausted") {
+		t.Fatalf("FirstError = %q, want a retries-exhausted error", res.FirstError)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (initial + MaxRetries)", got)
+	}
+	if res.Hist.Count() != 0 {
+		t.Fatalf("histogram recorded %d latencies, want 0 (dropped requests excluded)", res.Hist.Count())
+	}
+}
+
+// TestRetryAfterBackoffHonorsContext proves two things at once: the
+// worker adopts the server's Retry-After hint (a 5s backoff it would
+// otherwise never choose), and the backoff select still honors context
+// cancellation — the run returns promptly instead of sleeping out the
+// hint.
+func TestRetryAfterBackoffHonorsContext(t *testing.T) {
+	srv, hits := admissionServer(t, 1<<30, "5")
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := Run(ctx, Config{Base: srv.URL, Concurrency: 1, Requests: 1})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("run took %v; the 5s Retry-After backoff ignored cancellation", elapsed)
+	}
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Run error = %v, want context.DeadlineExceeded", err)
+	}
+	if res.Dropped != 1 || res.Retries429 != 1 {
+		t.Fatalf("Dropped/Retries429 = %d/%d, want 1/1 (one rejection, then the backoff is interrupted)",
+			res.Dropped, res.Retries429)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (the 5s hint must delay the retry past cancellation)", got)
+	}
+}

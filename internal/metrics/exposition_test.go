@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEmptyHistogramExposition pins the rendering of a histogram family
+// that was registered but never observed: Prometheus requires the full
+// bucket ladder (including le="+Inf") with zero counts plus zero _sum and
+// _count lines, not an omitted family.
+func TestEmptyHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("chopperd_idle_seconds", "never observed", "kind=idle")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if !strings.Contains(out, "# TYPE chopperd_idle_seconds histogram") {
+		t.Fatalf("empty histogram family missing from scrape:\n%s", out)
+	}
+	var buckets int
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "chopperd_idle_seconds_bucket") {
+			continue
+		}
+		buckets++
+		if !strings.HasSuffix(line, " 0") {
+			t.Fatalf("empty histogram bucket with nonzero count: %q", line)
+		}
+	}
+	if want := len(histBuckets) + 1; buckets != want {
+		t.Fatalf("empty histogram rendered %d bucket lines, want %d (bounds + +Inf)", buckets, want)
+	}
+	for _, want := range []string{
+		`chopperd_idle_seconds_bucket{kind="idle",le="+Inf"} 0`,
+		`chopperd_idle_seconds_sum{kind="idle"} 0`,
+		`chopperd_idle_seconds_count{kind="idle"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramOverflowBucket pins the +Inf overflow path: an observation
+// larger than every finite bound must count only in the +Inf bucket (the
+// cumulative counts of all finite buckets stay 0) while _sum, _count, Max
+// and the top quantile all see the raw value.
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("chopperd_slow_seconds", "overflow")
+	over := 2 * histBuckets[len(histBuckets)-1]
+	h.Observe(over)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "chopperd_slow_seconds_bucket") {
+			continue
+		}
+		if strings.Contains(line, `le="+Inf"`) {
+			if !strings.HasSuffix(line, " 1") {
+				t.Fatalf("+Inf bucket should hold the overflow observation: %q", line)
+			}
+		} else if !strings.HasSuffix(line, " 0") {
+			t.Fatalf("finite bucket counted an overflow observation: %q", line)
+		}
+	}
+	if h.Count() != 1 || h.Sum() != over || h.Max() != over {
+		t.Fatalf("Count/Sum/Max = %d/%v/%v, want 1/%v/%v", h.Count(), h.Sum(), h.Max(), over, over)
+	}
+	if got := h.Quantile(1); got != over {
+		t.Fatalf("overflow-bucket p100 = %v, want the max %v", got, over)
+	}
+}
+
+// TestLabelValueEscaping pins the %q escaping of label values containing
+// quotes and backslashes — a workload name like `ad-hoc "q1" C:\tmp` must
+// render as a valid Prometheus label, not break the line format.
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("chopperd_named_total", "escaping", `workload=ad-hoc "q1" C:\tmp`).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `chopperd_named_total{workload="ad-hoc \"q1\" C:\\tmp"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("scrape missing escaped label line %q in:\n%s", want, b.String())
+	}
+}
