@@ -10,8 +10,10 @@
 # pipeline against arbitrary source, the plan-IR invariant checker, and
 # the symbolic plan extractor, chopperplan — the static plan-drift gate
 # diffing statically extracted stage graphs against the ones the scheduler
-# submits — and chopperverify, the plan-IR and configuration verifiers run
-# end to end over every built-in workload.
+# submits — chopperkey, the static key-flow gate (flow-sensitive key lint
+# rules plus the key-fact drift diff against the runtime lineage) — and
+# chopperverify, the plan-IR and configuration verifiers run end to end
+# over every built-in workload.
 #
 # Every step must pass for a change to land. The gate CLIs exit non-zero
 # on any finding and share one wire-JSON schema (tool/rule/pos/msg/
@@ -56,10 +58,10 @@ gate "build"
 go build ./...
 
 gate "build gate CLIs"
-# Build the four gate binaries once into bin/ instead of `go run`-ing each
+# Build the five gate binaries once into bin/ instead of `go run`-ing each
 # gate: one compile apiece, and the json-artifact steps reuse them.
 mkdir -p bin
-go build -o bin/ ./cmd/chopperlint ./cmd/chopperguard ./cmd/chopperplan ./cmd/chopperverify
+go build -o bin/ ./cmd/chopperlint ./cmd/chopperguard ./cmd/chopperplan ./cmd/chopperverify ./cmd/chopperkey
 
 gate "vet"
 go vet ./...
@@ -81,6 +83,13 @@ gate "chopperguard"
 # acting.
 bin/chopperguard ./...
 
+gate "chopperkey (lint)"
+# Static key-flow rules: divergent join key types (keydrift), partitioning
+# dropped before anything uses it (shufflewaste), provably constant or
+# tiny-cardinality shuffle keys (constkey), plus the stale-suppression
+# audit scoped to the key rules.
+bin/chopperkey ./...
+
 gate "wire-JSON artifacts"
 # Machine-readable diagnostics for CI dashboards, one artifact per tool in
 # the shared wire schema, merged (sorted, deduplicated) into lint.json;
@@ -89,7 +98,8 @@ gate "wire-JSON artifacts"
 # so downstream tooling has one fixed place to look.
 bin/chopperlint -json ./... > chopperlint.json
 bin/chopperguard -json ./... > chopperguard.json
-bin/chopperlint -merge chopperlint.json chopperguard.json > lint.json
+bin/chopperkey -json ./... > chopperkey.json
+bin/chopperlint -merge chopperlint.json chopperguard.json chopperkey.json > lint.json
 
 gate "test (shuffled)"
 go test -shuffle=on ./...
@@ -126,12 +136,19 @@ go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/exec
 go test -run='^$' -fuzz=FuzzPlanInvariants -fuzztime=5s ./internal/plan/verify
 go test -run='^$' -fuzz=FuzzSymbolicExtract -fuzztime=5s ./internal/plan/extract
 go test -run='^$' -fuzz=FuzzLockContract -fuzztime=5s ./internal/lint
+go test -run='^$' -fuzz=FuzzKeyFacts -fuzztime=5s ./internal/lint
 
 gate "chopperplan"
 # Static plan-drift gate: symbolically extract every workload's stage
 # graphs from source, verify the plan-IR invariants on them, and diff them
 # against the plans the scheduler actually submits.
 bin/chopperplan -workload=all
+
+gate "chopperkey (drift)"
+# Key-fact drift gate: the statically inferred per-RDD key facts (keyed
+# state, partitioner placement, scheme, co-partition grouping, dependency
+# kinds) must match the lineage the runtime actually builds, job for job.
+bin/chopperkey -workload=all
 
 gate "chopperverify"
 bin/chopperverify -workload=all

@@ -147,14 +147,25 @@ func Guard() []*Analyzer {
 	return []*Analyzer{LockContract, CopyEscape, JournalOrder, Tocou}
 }
 
+// Key returns the chopperkey rule family: flow-sensitive key-provenance
+// and co-partitioning analysis of RDD pipelines (see keyflow.go). Shipped
+// as its own CLI (cmd/chopperkey) alongside the symbolic KeyFacts tracker
+// in internal/plan/extract.
+func Key() []*Analyzer {
+	return []*Analyzer{KeyDriftRule, ShuffleWaste, ConstKey}
+}
+
 // ByName resolves analyzer names (the -rules flag) to analyzers, across
-// both the chopperlint suite and the chopperguard family.
+// the chopperlint suite and the chopperguard and chopperkey families.
 func ByName(names []string) ([]*Analyzer, error) {
 	byName := map[string]*Analyzer{}
 	for _, a := range All() {
 		byName[a.Name] = a
 	}
 	for _, a := range Guard() {
+		byName[a.Name] = a
+	}
+	for _, a := range Key() {
 		byName[a.Name] = a
 	}
 	var out []*Analyzer

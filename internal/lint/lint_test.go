@@ -34,6 +34,9 @@ var goldenCases = []struct {
 	{lint.CopyEscape, "copyescape", "chopper/internal/core"},
 	{lint.JournalOrder, "journalorder", "chopper/internal/core"},
 	{lint.Tocou, "tocou", "chopper/internal/core"},
+	{lint.KeyDriftRule, "keydrift", "chopper/internal/workloads"},
+	{lint.ShuffleWaste, "shufflewaste", "chopper/internal/workloads"},
+	{lint.ConstKey, "constkey", "chopper/internal/workloads"},
 }
 
 func moduleRoot(t *testing.T) string {

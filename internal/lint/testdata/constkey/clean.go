@@ -1,0 +1,38 @@
+package ckfix
+
+import "chopper/internal/rdd"
+
+// DataKeyedReduce keys by the data-dependent split index: the key space
+// scales with the input, nothing collapses.
+func DataKeyedReduce(ctx *rdd.Context) *rdd.RDD {
+	rows := ctx.Generate("dataRows", 0, 1<<20, func(split, total int) []rdd.Row {
+		return []rdd.Row{rdd.Pair{K: split, V: 1.0}}
+	})
+	return rows.ReduceByKey(func(a, b any) any { return a.(float64) + b.(float64) }, 300)
+}
+
+// WideModulo keys by split%1024: bounded but far beyond the reporting
+// threshold — partition-count tuning territory, not a bug.
+func WideModulo(ctx *rdd.Context) *rdd.RDD {
+	rows := ctx.Generate("wideRows", 0, 1<<20, func(split, total int) []rdd.Row {
+		return []rdd.Row{rdd.Pair{K: split % 1024, V: 1.0}}
+	})
+	return rows.GroupByKey(300)
+}
+
+// PartialAggregate emits one constant-keyed pair per partition from a
+// partition-level rewrite — the standard partial-aggregation idiom, exempt
+// by design.
+func PartialAggregate(ctx *rdd.Context) *rdd.RDD {
+	rows := ctx.Generate("partialRows", 0, 1<<20, func(split, total int) []rdd.Row {
+		return []rdd.Row{rdd.Pair{K: split, V: 1.0}}
+	})
+	partial := rows.MapPartitions("partialSum", 0.5, func(split int, in []rdd.Row) []rdd.Row {
+		var sum float64
+		for _, r := range in {
+			sum += r.(rdd.Pair).V.(float64)
+		}
+		return []rdd.Row{rdd.Pair{K: 0, V: sum}}
+	})
+	return partial.ReduceByKey(func(a, b any) any { return a.(float64) + b.(float64) }, 8)
+}

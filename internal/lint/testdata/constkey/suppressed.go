@@ -1,0 +1,13 @@
+package ckfix
+
+import "chopper/internal/rdd"
+
+// GlobalSum deliberately reduces everything under one key to compute a
+// single global aggregate; the collapse is the point.
+func GlobalSum(ctx *rdd.Context) *rdd.RDD {
+	rows := ctx.Generate("sumRows", 0, 1<<20, func(split, total int) []rdd.Row {
+		return []rdd.Row{rdd.Pair{K: 0, V: 1.0}}
+	})
+	//lint:ignore constkey a single global aggregate is intended; one reduce partition is correct
+	return rows.ReduceByKey(func(a, b any) any { return a.(float64) + b.(float64) }, 1)
+}

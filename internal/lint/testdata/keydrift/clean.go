@@ -1,0 +1,26 @@
+package kdfix
+
+import "chopper/internal/rdd"
+
+// MatchedJoin keys both sides by the split index: identical concrete key
+// types, no drift.
+func MatchedJoin(ctx *rdd.Context) *rdd.RDD {
+	left := ctx.Generate("left", 0, 1<<20, func(split, total int) []rdd.Row {
+		return []rdd.Row{rdd.Pair{K: split, V: 1.0}}
+	})
+	right := ctx.Generate("right", 0, 1<<20, func(split, total int) []rdd.Row {
+		return []rdd.Row{rdd.Pair{K: split, V: 2.0}}
+	})
+	return left.Join(right, nil)
+}
+
+// FilteredJoin narrows one side through filter and an identity map — both
+// preserve the key summary, so the sides still agree.
+func FilteredJoin(ctx *rdd.Context) *rdd.RDD {
+	left := ctx.Generate("filteredLeft", 0, 1<<20, func(split, total int) []rdd.Row {
+		return []rdd.Row{rdd.Pair{K: split, V: 1.0}}
+	})
+	slim := left.Filter(func(r rdd.Row) bool { return r.(rdd.Pair).V.(float64) > 0 }).
+		Map(func(r rdd.Row) rdd.Row { return r })
+	return left.Join(slim, nil)
+}

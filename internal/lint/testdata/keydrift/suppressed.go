@@ -1,0 +1,20 @@
+package kdfix
+
+import (
+	"strconv"
+
+	"chopper/internal/rdd"
+)
+
+// LegacyJoin knowingly joins an int-keyed side against a string-keyed
+// side; the mismatch is documented and suppressed.
+func LegacyJoin(ctx *rdd.Context) *rdd.RDD {
+	ids := ctx.Generate("ids", 0, 1<<20, func(split, total int) []rdd.Row {
+		return []rdd.Row{rdd.Pair{K: split, V: 1.0}}
+	})
+	labels := ctx.Generate("labels", 0, 1<<20, func(split, total int) []rdd.Row {
+		return []rdd.Row{rdd.Pair{K: strconv.Itoa(split), V: split}}
+	})
+	//lint:ignore keydrift the sides intentionally never match; the join keeps only unmatched rows
+	return ids.Join(labels, nil)
+}

@@ -1,0 +1,28 @@
+package swfix
+
+import "chopper/internal/rdd"
+
+// RekeyAfterPartition pays for a full shuffle, then immediately re-keys the
+// rows with a map — the runtime drops the partitioner on any map, so the
+// shuffle bought nothing.
+func RekeyAfterPartition(ctx *rdd.Context) {
+	pairs := ctx.Generate("pairs", 0, 1<<20, func(split, total int) []rdd.Row {
+		return []rdd.Row{rdd.Pair{K: split, V: 1.0}}
+	})
+	keyed := pairs.PartitionBy(rdd.NewHashPartitioner(64))
+	swapped := keyed.Map(func(r rdd.Row) rdd.Row {
+		p := r.(rdd.Pair)
+		return rdd.Pair{K: p.V, V: p.K}
+	})
+	swapped.Count()
+}
+
+// DropKeysAfterPartition discards the pair structure entirely right after
+// partitioning it.
+func DropKeysAfterPartition(ctx *rdd.Context) {
+	pairs := ctx.Generate("morePairs", 0, 1<<20, func(split, total int) []rdd.Row {
+		return []rdd.Row{rdd.Pair{K: split, V: 1.0}}
+	})
+	flat := pairs.PartitionBy(rdd.NewHashPartitioner(32)).Values()
+	flat.SumFloat()
+}

@@ -1,0 +1,18 @@
+package swfix
+
+import "chopper/internal/rdd"
+
+// BalanceOnly partitions purely to rebalance task sizes before an expensive
+// map; the partitioning itself is knowingly discarded.
+func BalanceOnly(ctx *rdd.Context) {
+	rows := ctx.Generate("skewed", 0, 1<<20, func(split, total int) []rdd.Row {
+		return []rdd.Row{rdd.Pair{K: split, V: 1.0}}
+	})
+	//lint:ignore shufflewaste the shuffle is for load balancing, not for key locality
+	spread := rows.PartitionBy(rdd.NewHashPartitioner(128))
+	heavy := spread.Map(func(r rdd.Row) rdd.Row {
+		p := r.(rdd.Pair)
+		return rdd.Pair{K: p.V, V: p.K}
+	})
+	heavy.Count()
+}

@@ -40,6 +40,10 @@ type Job struct {
 	Target *rdd.RDD
 	Plan   *dag.Stage
 	Topo   []*dag.Stage
+
+	// Keys holds the statically inferred key/partitioning facts for every
+	// lineage node of Target, sorted by RDD ID (creation order).
+	Keys []KeyFacts
 }
 
 // Report is the result of symbolically extracting one workload.
@@ -118,7 +122,11 @@ func (e *Extractor) Extract(w workloads.Workload, inputBytes int64, defaultParal
 	for _, j := range in.jobs {
 		rdd.PropagateCounts(j.target)
 		plan, topo := dag.BuildPlan(j.target, cold)
-		rep.Jobs = append(rep.Jobs, Job{Action: j.action, Target: j.target, Plan: plan, Topo: topo})
+		keys, err := in.keys.jobFacts(j.target)
+		if err != nil {
+			return nil, fmt.Errorf("extract: %s: %w", w.Name(), err)
+		}
+		rep.Jobs = append(rep.Jobs, Job{Action: j.action, Target: j.target, Plan: plan, Topo: topo, Keys: keys})
 	}
 	return rep, nil
 }

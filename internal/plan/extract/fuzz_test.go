@@ -20,6 +20,13 @@ func FuzzSymbolicExtract(f *testing.F) {
 	f.Add(uint8(2), 8, int64(34_500_000_000), 150, uint16(3), int16(0))
 	f.Add(uint8(3), 2, int64(12_000_000_000), 7, uint16(0xff), int16(-3))
 	f.Add(uint8(0), 0, int64(0), 0, uint16(0xffff), int16(63))
+	// Key-flow corpus: shapes that keep the KeyFacts tracker's hardest
+	// paths hot. sql joins re-keyed tables (join-after-rekey), pagerank
+	// chains mapValues across a cogroup (partitioner preservation), pca
+	// reduces under a constant key (cardinality collapse).
+	f.Add(uint8(2), 4, int64(34_500_000_000), 96, uint16(0), int16(0))
+	f.Add(uint8(3), 4, int64(12_000_000_000), 48, uint16(2), int16(5))
+	f.Add(uint8(1), 4, int64(27_600_000_000), 64, uint16(0), int16(0))
 
 	names := []string{"kmeans", "pca", "sql", "pagerank"}
 	f.Fuzz(func(t *testing.T, which uint8, shrink int, inputBytes int64, par int, fieldSel uint16, fieldVal int16) {
@@ -49,6 +56,9 @@ func FuzzSymbolicExtract(f *testing.F) {
 			}
 			if j.Topo[len(j.Topo)-1] != j.Plan || !j.Plan.IsResult {
 				t.Fatalf("job %d (%s): result stage is not last in topo", i, j.Action)
+			}
+			if len(j.Keys) == 0 {
+				t.Fatalf("job %d (%s): extraction succeeded but carries no key facts", i, j.Action)
 			}
 			for _, v := range verify.Stages(j.Plan, j.Topo, lim) {
 				t.Errorf("job %d (%s): extracted plan violates invariants: %s", i, j.Action, v)

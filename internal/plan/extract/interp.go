@@ -39,6 +39,7 @@ type interp struct {
 	bytes int64
 
 	jobs  []symJob
+	keys  *keyTracker
 	steps int
 }
 
@@ -102,7 +103,7 @@ const (
 )
 
 func newInterp(pkg *lint.Package, decl *ast.FuncDecl, w any, ctx *rdd.Context, inputBytes int64) *interp {
-	return &interp{
+	in := &interp{
 		pkg:   pkg,
 		info:  pkg.Info,
 		fset:  pkg.Fset,
@@ -111,6 +112,8 @@ func newInterp(pkg *lint.Package, decl *ast.FuncDecl, w any, ctx *rdd.Context, i
 		w:     w,
 		bytes: inputBytes,
 	}
+	in.keys = newKeyTracker(in)
+	return in
 }
 
 // bail aborts extraction with a positioned reason; recovered in Extract.

@@ -1,0 +1,144 @@
+package extract_test
+
+import (
+	"testing"
+
+	"chopper/internal/experiments"
+	"chopper/internal/lint"
+	"chopper/internal/plan/extract"
+	"chopper/internal/workloads"
+)
+
+// TestKeyFactsMatchRuntime is the key-fact drift gate: for every built-in
+// workload, the statically inferred partitioner placement, co-partition
+// grouping, and dependency kinds must match the plans the scheduler
+// actually submits, node for node.
+func TestKeyFactsMatchRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the module and runs every workload")
+	}
+	ex := sharedExtractor(t)
+	for _, name := range []string{"kmeans", "pca", "sql", "pagerank"} {
+		t.Run(name, func(t *testing.T) {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			workloads.Shrink(w, shrink)
+			bytes := w.DefaultInputBytes()
+
+			rep, err := ex.Extract(w, bytes, experiments.DefaultParallelism)
+			if err != nil {
+				t.Fatalf("static extraction failed: %v", err)
+			}
+			for i, j := range rep.Jobs {
+				if len(j.Keys) == 0 {
+					t.Fatalf("job %d (%s): no key facts", i, j.Action)
+				}
+			}
+
+			var keys extract.KeyCapture
+			if _, _, err := experiments.RunWorkload(w, bytes, experiments.Options{OnPlan: keys.Hook()}); err != nil {
+				t.Fatalf("runtime run failed: %v", err)
+			}
+			if drift := extract.KeyDrift(rep, keys.Jobs()); len(drift) != 0 {
+				for _, d := range drift {
+					t.Errorf("key-fact drift: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// factByOp returns the first fact with the given op across the report's
+// jobs, scanning jobs in submission order.
+func factByOp(rep *extract.Report, op string) (extract.KeyFacts, bool) {
+	for _, j := range rep.Jobs {
+		for _, f := range j.Keys {
+			if f.Op == op {
+				return f, true
+			}
+		}
+	}
+	return extract.KeyFacts{}, false
+}
+
+// TestKeyFactsLattice pins the interesting lattice inferences on the real
+// workloads: co-partitioned joins predicted narrow, key provenance carried
+// through identity maps and filters, and the constant-key cardinality that
+// cold-start seeding exploits.
+func TestKeyFactsLattice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the module")
+	}
+	ex := sharedExtractor(t)
+	reports := map[string]*extract.Report{}
+	for _, name := range []string{"pca", "sql", "pagerank"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads.Shrink(w, shrink)
+		rep, err := ex.Extract(w, w.DefaultInputBytes(), experiments.DefaultParallelism)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		reports[name] = rep
+	}
+
+	// pagerank: links carries the explicit partitioner through the identity
+	// parseLinks map's child partitionBy, MapValues preserves it onto ranks,
+	// so the join's cogroup sees both parents co-partitioned: narrow-narrow.
+	cg, ok := factByOp(reports["pagerank"], "cogroup")
+	if !ok {
+		t.Fatal("pagerank: no cogroup fact")
+	}
+	if cg.DepKinds != "nn" || !cg.HasPart || cg.Scheme != "hash" {
+		t.Errorf("pagerank cogroup: got deps=%q part=%v/%s, want co-partitioned narrow-narrow hash", cg.DepKinds, cg.HasPart, cg.Scheme)
+	}
+	mv, ok := factByOp(reports["pagerank"], "mapValues")
+	if !ok {
+		t.Fatal("pagerank: no mapValues fact")
+	}
+	if !mv.HasPart || mv.PartID != cg.PartID {
+		t.Errorf("pagerank mapValues: partitioner not preserved (hasPart=%v partID=%d, cogroup partID=%d)", mv.HasPart, mv.PartID, cg.PartID)
+	}
+
+	// sql: the join takes a nil partitioner, so neither side can be
+	// co-partitioned with the fresh default: shuffle-shuffle.
+	cg, ok = factByOp(reports["sql"], "cogroup")
+	if !ok {
+		t.Fatal("sql: no cogroup fact")
+	}
+	if cg.DepKinds != "ss" {
+		t.Errorf("sql cogroup: got deps=%q, want ss", cg.DepKinds)
+	}
+
+	// sql: the orders source's key is data-dependent (zipfIndex of the row
+	// index), and filter + identity map preserve its provenance verbatim.
+	src, ok := factByOp(reports["sql"], "ordersTable")
+	if !ok {
+		t.Fatal("sql: no ordersTable fact")
+	}
+	if src.Keyed != extract.KeyedYes || src.Card != lint.CardData || src.Prov == "" {
+		t.Errorf("sql ordersTable: got keyed=%s card=%s prov=%q, want a data-carried key", src.Keyed, src.Card, src.Prov)
+	}
+	flt, ok := factByOp(reports["sql"], "filter")
+	if !ok {
+		t.Fatal("sql: no filter fact")
+	}
+	if flt.Prov != src.Prov || flt.Card != src.Card {
+		t.Errorf("sql filter: provenance not preserved (got %q/%s, want %q/%s)", flt.Prov, flt.Card, src.Prov, src.Card)
+	}
+
+	// pca: the partial-mean rewrite keys every partition's contribution by
+	// the constant 0 — a provably single-key reduce, the fact cold-start
+	// seeding uses to shrink the reduce side to one partition.
+	pm, ok := factByOp(reports["pca"], "partialMean")
+	if !ok {
+		t.Fatal("pca: no partialMean fact")
+	}
+	if pm.Keyed != extract.KeyedYes || pm.Card != lint.CardConst || pm.Bound != 1 {
+		t.Errorf("pca partialMean: got keyed=%s card=%s bound=%d, want a constant single key", pm.Keyed, pm.Card, pm.Bound)
+	}
+}

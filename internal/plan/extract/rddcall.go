@@ -106,7 +106,9 @@ func (in *interp) evalMethodCall(call *ast.CallExpr, sel *ast.SelectorExpr, env 
 	if !m.IsValid() {
 		return in.opaqueCall(call, env)
 	}
-	return in.invoke(call, m, env)
+	out, args := in.invokeWithArgs(call, m, env)
+	in.keys.note(call, name, recv.rv, args, out, env)
+	return out
 }
 
 // actionResults models an intercepted action's return values: unknown data
@@ -131,6 +133,15 @@ func (in *interp) actionResults(recv reflect.Value, name string) []val {
 // their closures never run during extraction); every other argument must
 // be statically known.
 func (in *interp) invoke(call *ast.CallExpr, fn reflect.Value, env *scope) []val {
+	out, _ := in.invokeWithArgs(call, fn, env)
+	return out
+}
+
+// invokeWithArgs is invoke exposed with the evaluated argument values, so
+// the key tracker can inspect partitioner/count arguments without
+// re-evaluating them (re-evaluation would mint duplicate partitioner
+// identities).
+func (in *interp) invokeWithArgs(call *ast.CallExpr, fn reflect.Value, env *scope) ([]val, []reflect.Value) {
 	ft := fn.Type()
 	if ft.IsVariadic() || ft.NumIn() != len(call.Args) {
 		in.bail(call.Pos(), "call arity/variadic shape not modeled")
@@ -161,7 +172,7 @@ func (in *interp) invoke(call *ast.CallExpr, fn reflect.Value, env *scope) []val
 	for i, r := range res {
 		out[i] = knownRV(r)
 	}
-	return out
+	return out, args
 }
 
 // stubFunc builds a no-op closure of the given func type, returning zero

@@ -1,0 +1,95 @@
+package extract
+
+import (
+	"chopper/internal/core"
+	"chopper/internal/dag"
+	"chopper/internal/lint"
+	"chopper/internal/rdd"
+)
+
+// SeedHints projects the report's KeyFacts onto first-run stage signatures,
+// producing the scheme hints core.Optimizer.SeedConfig consumes for
+// cold-start seeding.
+//
+// Signatures depend on cache warmth (a chain below a materialized cached RDD
+// signs as "cached[...]"), and the first run warms caches progressively: job
+// N+1 sees every cached RDD that job 1..N computed. The derivation replays
+// that exactly — it rebuilds each job's stage graph with a warm predicate
+// tracking which cached RDDs earlier jobs materialized — so each hint's
+// signature is the one the scheduler will look up when the unprofiled
+// workload actually runs.
+func (r *Report) SeedHints() []core.SeedHint {
+	// Partitioner identities shared by two or more distinct stage signatures
+	// form co-partition groups.
+	sigsByPart := map[int64]map[string]bool{}
+	type stageHint struct {
+		sig    string
+		facts  *KeyFacts
+		fixed  bool
+		partID int64
+	}
+	var stages []stageHint
+
+	done := map[int]bool{} // cached RDD IDs materialized by earlier jobs
+	seen := map[string]bool{}
+	for _, j := range r.Jobs {
+		warm := func(n *rdd.RDD) bool { return n.Cached && done[n.ID] }
+		_, topo := dag.BuildPlan(j.Target, warm)
+		byID := map[int]*KeyFacts{}
+		for i := range j.Keys {
+			byID[j.Keys[i].ID] = &j.Keys[i]
+		}
+		for _, st := range topo {
+			if len(st.InDeps) == 0 {
+				continue // sources carry no statically inferable bound
+			}
+			f := byID[st.Final.ID]
+			if f == nil || !f.HasPart {
+				continue
+			}
+			if sigsByPart[f.PartID] == nil {
+				sigsByPart[f.PartID] = map[string]bool{}
+			}
+			sigsByPart[f.PartID][st.Signature] = true
+			if seen[st.Signature] {
+				continue
+			}
+			seen[st.Signature] = true
+			stages = append(stages, stageHint{sig: st.Signature, facts: f, fixed: st.Fixed(), partID: f.PartID})
+		}
+		// Running the job materializes every cached RDD in its lineage.
+		for _, n := range j.Target.Lineage() {
+			if n.Cached {
+				done[n.ID] = true
+			}
+		}
+	}
+
+	group := map[int64]int{}
+	for _, sh := range stages {
+		if len(sigsByPart[sh.partID]) < 2 {
+			continue
+		}
+		if _, ok := group[sh.partID]; !ok {
+			group[sh.partID] = len(group)
+		}
+	}
+
+	out := make([]core.SeedHint, 0, len(stages))
+	for _, sh := range stages {
+		h := core.SeedHint{
+			Signature: sh.sig,
+			Scheme:    rdd.SchemeName(sh.facts.Scheme),
+			Fixed:     sh.fixed,
+			Group:     -1,
+		}
+		if g, ok := group[sh.partID]; ok {
+			h.Group = g
+		}
+		if sh.facts.Card == lint.CardConst || sh.facts.Card == lint.CardEnum {
+			h.KeyBound = sh.facts.Bound
+		}
+		out = append(out, h)
+	}
+	return out
+}
