@@ -11,9 +11,12 @@
 # the symbolic plan extractor, chopperplan — the static plan-drift gate
 # diffing statically extracted stage graphs against the ones the scheduler
 # submits — chopperkey, the static key-flow gate (flow-sensitive key lint
-# rules plus the key-fact drift diff against the runtime lineage) — and
-# chopperverify, the plan-IR and configuration verifiers run end to end
-# over every built-in workload.
+# rules plus the key-fact drift diff against the runtime lineage) —
+# chopperheap, the static allocation-site and buffer-lifetime gate (hot-path
+# allocation budgets against heapbudget.json, box-free F64 kernels, shuffle
+# buffer generation lifetimes, pre-sizable appends) — and chopperverify,
+# the plan-IR and configuration verifiers run end to end over every
+# built-in workload.
 #
 # Every step must pass for a change to land. The gate CLIs exit non-zero
 # on any finding and share one wire-JSON schema (tool/rule/pos/msg/
@@ -58,10 +61,10 @@ gate "build"
 go build ./...
 
 gate "build gate CLIs"
-# Build the five gate binaries once into bin/ instead of `go run`-ing each
+# Build the six gate binaries once into bin/ instead of `go run`-ing each
 # gate: one compile apiece, and the json-artifact steps reuse them.
 mkdir -p bin
-go build -o bin/ ./cmd/chopperlint ./cmd/chopperguard ./cmd/chopperplan ./cmd/chopperverify ./cmd/chopperkey
+go build -o bin/ ./cmd/chopperlint ./cmd/chopperguard ./cmd/chopperplan ./cmd/chopperverify ./cmd/chopperkey ./cmd/chopperheap
 
 gate "vet"
 go vet ./...
@@ -90,6 +93,19 @@ gate "chopperkey (lint)"
 # audit scoped to the key rules.
 bin/chopperkey ./...
 
+gate "chopperheap"
+# Static allocation-site and buffer-lifetime rules: hot-path allocation
+# sites gated against the committed heapbudget.json (hotalloc — a new site
+# in anything reachable from the wave/kernel/shuffle roots fails until
+# audited with `chopperheap -write-budget`), boxed fallbacks or in-loop
+# float64 boxing inside the typed F64 kernel regions (boxf64), shuffle
+# cache slices escaping their generation (genlife), and pre-sizable
+# append ladders (prealloc). TestHeapBudgetMatchesSweep pins the budget
+# file to a fresh sweep, and TestPlantedHeapViolations is the
+# deliberate-break check proving this gate catches a planted boxed F64
+# call and a planted escaping shuffle slice.
+bin/chopperheap ./...
+
 gate "wire-JSON artifacts"
 # Machine-readable diagnostics for CI dashboards, one artifact per tool in
 # the shared wire schema, merged (sorted, deduplicated) into lint.json;
@@ -99,7 +115,8 @@ gate "wire-JSON artifacts"
 bin/chopperlint -json ./... > chopperlint.json
 bin/chopperguard -json ./... > chopperguard.json
 bin/chopperkey -json ./... > chopperkey.json
-bin/chopperlint -merge chopperlint.json chopperguard.json chopperkey.json > lint.json
+bin/chopperheap -json ./... > chopperheap.json
+bin/chopperlint -merge chopperlint.json chopperguard.json chopperkey.json chopperheap.json > lint.json
 
 gate "test (shuffled)"
 go test -shuffle=on ./...
@@ -137,6 +154,7 @@ go test -run='^$' -fuzz=FuzzPlanInvariants -fuzztime=5s ./internal/plan/verify
 go test -run='^$' -fuzz=FuzzSymbolicExtract -fuzztime=5s ./internal/plan/extract
 go test -run='^$' -fuzz=FuzzLockContract -fuzztime=5s ./internal/lint
 go test -run='^$' -fuzz=FuzzKeyFacts -fuzztime=5s ./internal/lint
+go test -run='^$' -fuzz=FuzzHeapFacts -fuzztime=5s ./internal/lint
 
 gate "chopperplan"
 # Static plan-drift gate: symbolically extract every workload's stage

@@ -192,7 +192,7 @@ func (s *Scheduler) pruneCachedStages(result *Stage, topo []*Stage) []*Stage {
 		}
 	}
 	visit(result)
-	var kept []*Stage
+	kept := make([]*Stage, 0, len(topo))
 	for _, st := range topo {
 		if !needed[st] {
 			continue
@@ -244,7 +244,7 @@ func (s *Scheduler) liveInDeps(st *Stage) map[*rdd.ShuffleDep]bool {
 func stageInfos(topo []*Stage) []StageInfo {
 	infos := make([]StageInfo, len(topo))
 	for i, st := range topo {
-		var psigs []string
+		psigs := make([]string, 0, len(st.Parents))
 		for _, p := range st.Parents {
 			psigs = append(psigs, p.Signature)
 		}

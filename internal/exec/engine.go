@@ -513,7 +513,7 @@ func (e *Engine) speculatePass(tasks []*task, cores []*placementCore) {
 		quant = 0.75
 	}
 	// Deterministic stage order.
-	var stages []*dag.Stage
+	stages := make([]*dag.Stage, 0, len(byStage))
 	for st := range byStage {
 		stages = append(stages, st)
 	}
@@ -627,7 +627,7 @@ func topNodes(byNode map[string]int64) []string {
 		n string
 		b int64
 	}
-	var list []nb
+	list := make([]nb, 0, len(byNode))
 	for n, b := range byNode {
 		list = append(list, nb{n, b})
 	}

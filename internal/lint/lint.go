@@ -155,8 +155,17 @@ func Key() []*Analyzer {
 	return []*Analyzer{KeyDriftRule, ShuffleWaste, ConstKey}
 }
 
+// Heap returns the chopperheap rule family: static allocation-site and
+// buffer-lifetime analysis of the wave hot path (see heap.go, heapbox.go,
+// heaplife.go, heapprealloc.go). Shipped as its own CLI (cmd/chopperheap)
+// with the committed per-function budget in heapbudget.json.
+func Heap() []*Analyzer {
+	return []*Analyzer{HotAlloc, BoxF64, GenLife, PreAlloc}
+}
+
 // ByName resolves analyzer names (the -rules flag) to analyzers, across
-// the chopperlint suite and the chopperguard and chopperkey families.
+// the chopperlint suite and the chopperguard, chopperkey, and chopperheap
+// families.
 func ByName(names []string) ([]*Analyzer, error) {
 	byName := map[string]*Analyzer{}
 	for _, a := range All() {
@@ -166,6 +175,9 @@ func ByName(names []string) ([]*Analyzer, error) {
 		byName[a.Name] = a
 	}
 	for _, a := range Key() {
+		byName[a.Name] = a
+	}
+	for _, a := range Heap() {
 		byName[a.Name] = a
 	}
 	var out []*Analyzer

@@ -37,6 +37,10 @@ var goldenCases = []struct {
 	{lint.KeyDriftRule, "keydrift", "chopper/internal/workloads"},
 	{lint.ShuffleWaste, "shufflewaste", "chopper/internal/workloads"},
 	{lint.ConstKey, "constkey", "chopper/internal/workloads"},
+	{lint.HotAlloc, "hotalloc", "chopper/internal/exec"},
+	{lint.BoxF64, "boxf64", "chopper/internal/rdd"},
+	{lint.GenLife, "genlife", "chopper/internal/shuffle"},
+	{lint.PreAlloc, "prealloc", "chopper/internal/exec"},
 }
 
 func moduleRoot(t *testing.T) string {

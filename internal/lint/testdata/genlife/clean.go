@@ -1,0 +1,27 @@
+package glfix
+
+// snapshot deep-copies before retaining: the copy owns fresh memory and
+// survives the generation bump.
+func (t *tracker) snapshot(m *Manager, reduce int) {
+	src := m.ReduceNodeBytes(reduce)
+	cp := make([]NodeBytes, len(src))
+	copy(cp, src)
+	t.rows = cp
+}
+
+// total only reads elements: NodeBytes values are pure copies and carry
+// no reference to the cache memory.
+func total(m *Manager, reduce int) int64 {
+	var sum int64
+	for _, nb := range m.ReduceNodeBytes(reduce) {
+		sum += nb.Bytes
+	}
+	return sum
+}
+
+// forward returns the live slice — the documented zero-copy contract:
+// validity ends at the next generation, and the caller is the next
+// retaining site the rule checks.
+func forward(m *Manager, reduce int) []NodeBytes {
+	return m.ReduceNodeBytes(reduce)
+}

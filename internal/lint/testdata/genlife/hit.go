@@ -1,0 +1,46 @@
+package glfix
+
+// NodeBytes mirrors the real shuffle accounting row: a pure value type.
+type NodeBytes struct {
+	Node  string
+	Bytes int64
+}
+
+// Manager mirrors the real shuffle manager: ReduceNodeBytes hands out a
+// slice backed by generation-scoped cache memory.
+type Manager struct {
+	nodeCache map[int][]NodeBytes
+}
+
+func (m *Manager) ReduceNodeBytes(reduce int) []NodeBytes {
+	return m.nodeCache[reduce]
+}
+
+// tracker is a heap-lived consumer structure.
+type tracker struct {
+	rows []NodeBytes
+}
+
+// record stores the cached slice into a heap-lived field without a deep
+// copy — the next generation invalidates the backing array.
+func (t *tracker) record(m *Manager, reduce int) {
+	rows := m.ReduceNodeBytes(reduce)
+	t.rows = rows
+}
+
+// publish sends the live slice across a channel boundary.
+func publish(m *Manager, reduce int, ch chan []NodeBytes) {
+	ch <- m.ReduceNodeBytes(reduce)
+}
+
+// spill hands the live slice to a goroutine that outlives the read.
+func spill(m *Manager, reduce int, sink func(int64)) {
+	rows := m.ReduceNodeBytes(reduce)
+	go func() {
+		var sum int64
+		for _, nb := range rows {
+			sum += nb.Bytes
+		}
+		sink(sum)
+	}()
+}

@@ -1,0 +1,11 @@
+package glfix
+
+// lastRows is a package-level debug hook.
+var lastRows []NodeBytes
+
+// debugDump intentionally parks the live slice for the inspector; the
+// generation hazard is accepted and documented.
+func debugDump(m *Manager, reduce int) {
+	//lint:ignore genlife debug inspector snapshot; read before the next generation by construction
+	lastRows = m.ReduceNodeBytes(reduce)
+}

@@ -1,0 +1,20 @@
+package hafix
+
+// coldReport is not reachable from computePass: its allocation sites are
+// outside the hot-path contract and stay silent.
+func coldReport(names []string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		out = append(out, "report:"+n)
+	}
+	return out
+}
+
+// accumulate is also cold and free to box.
+func accumulate(vals []int) []any {
+	var boxed []any
+	for _, v := range vals {
+		boxed = append(boxed, any(v))
+	}
+	return boxed
+}

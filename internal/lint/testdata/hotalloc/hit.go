@@ -1,0 +1,46 @@
+package hafix
+
+// Engine mirrors the real exec engine shape so this fixture's
+// computePass resolves as the declared hot-path root.
+type Engine struct {
+	waves int
+}
+
+// computePass is the hot root; every function it statically reaches is
+// scanned for allocation sites. Its own deferred closure captures outer
+// state and is itself a heap allocation per call.
+func (e *Engine) computePass(names []string) []string {
+	ids := tag("wave", names)
+	defer func() { e.waves += len(ids) }()
+	counts := index(ids)
+	_ = counts
+	_ = scratch(len(names))
+	return ids
+}
+
+// tag allocates on every call: a make, per-element append growth, and a
+// non-constant string concatenation.
+func tag(prefix string, names []string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		out = append(out, prefix+n)
+	}
+	return out
+}
+
+// index allocates a map literal per call and hands the count to the
+// boxing trace sink.
+func index(ids []string) map[string]int {
+	counts := map[string]int{}
+	for _, id := range ids {
+		counts[id]++
+	}
+	trace(len(counts))
+	return counts
+}
+
+// trace boxes its numeric argument into an interface.
+func trace(n int) {
+	sink := any(n)
+	_ = sink
+}

@@ -1,0 +1,41 @@
+package pafix
+
+// filtered appends conditionally: the kept count is not statically
+// derivable, so the zero-value declaration is correct.
+func filtered(xs []int) []int {
+	var keep []int
+	for _, x := range xs {
+		if x > 0 {
+			keep = append(keep, x)
+		}
+	}
+	return keep
+}
+
+// drain ranges a channel: len() is not the element count.
+func drain(ch chan int) []int {
+	var out []int
+	for v := range ch {
+		out = append(out, v)
+	}
+	return out
+}
+
+// doubled appends twice per element: capacity len(xs) would be wrong.
+func doubled(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+		out = append(out, -x)
+	}
+	return out
+}
+
+// sized is already pre-sized.
+func sized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

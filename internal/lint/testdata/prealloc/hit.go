@@ -1,0 +1,29 @@
+package pafix
+
+// stageNames grows through the whole append ladder even though the
+// capacity is len(stages) up front: the `var` declaration form.
+func stageNames(stages []string) []string {
+	var names []string
+	for _, st := range stages {
+		names = append(names, st+"!")
+	}
+	return names
+}
+
+// indexIDs: the empty-composite-literal form, ranging a map.
+func indexIDs(byID map[int]string) []int {
+	ids := []int{}
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// runes: the make(T, 0) form, ranging a string.
+func runes(s string) []rune {
+	out := make([]rune, 0)
+	for _, r := range s {
+		out = append(out, r)
+	}
+	return out
+}
