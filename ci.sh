@@ -132,13 +132,24 @@ gate "race (parallel sweep)"
 go test -race -run 'TestParallelMatchesSequential' -count=1 ./internal/experiments
 
 gate "chopperbench (regression gate)"
-# Benchmark-regression harness: re-measures the shuffle/combine kernels, the
-# quick sweep, and the chopperd serving stack under closed-loop load, then
-# gates allocs/op (exact, machine-independent), the parallel-sweep speedup
-# (floor scaled to GOMAXPROCS), and zero dropped service requests against
-# the committed baseline. Re-baseline with:
-#   go run ./cmd/chopperbench -out BENCH_5.json
-go run ./cmd/chopperbench -short -compare BENCH_5.json -tolerance 10%
+# Benchmark-regression harness: re-measures the columnar shuffle/combine
+# kernels, the quick sweep, and the chopperd serving stack under closed-loop
+# load, then gates allocs/op (exact, machine-independent), the >=50%
+# bytes/op arena floor vs the compiled-in boxed pre-arena numbers, the
+# parallel-sweep speedup (floor scaled to GOMAXPROCS), and zero dropped
+# service requests against the committed baseline. The heap profile of the
+# gate run is kept as an artifact (chopperbench-heap.pprof) so allocation
+# regressions can be diffed with `go tool pprof` without re-running.
+# Re-baseline with:
+#   go run ./cmd/chopperbench -out BENCH_9.json
+go run ./cmd/chopperbench -short -compare BENCH_9.json -tolerance 10% -memprofile chopperbench-heap.pprof
+
+gate "chopperbench (deliberate break)"
+# Prove the arena bytes/op floor actually bites: re-introducing a per-pair
+# copy on the reduce side (materializing arena views to boxed pairs before
+# the merge) must trip the >=50% floor, while the real columnar path
+# clears it.
+go test -run 'TestPlantedPerPairCopyTripsBytesFloor' -count=1 ./cmd/chopperbench
 
 gate "chopperd smoke"
 # End-to-end daemon gate: spawn a real chopperd on an ephemeral port, train,

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"chopper/internal/rdd"
+)
+
+// TestPlantedPerPairCopyTripsBytesFloor is the deliberate-break check
+// behind the arena bytes/op floor: re-introducing a per-pair copy on the
+// reduce side (materializing every arena view to boxed pairs before the
+// merge — exactly what the columnar layout removed) must trip the >=50%
+// floor against the compiled-in pre-arena numbers, while the real
+// columnar path clears it.
+func TestPlantedPerPairCopyTripsBytesFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures allocation profiles; skipped under -short")
+	}
+	agg := rdd.SumAggregator()
+	blocks := benchColBlocks(benchIntPairs(8192, 512), 16, agg)
+
+	measure := func(fn func()) int64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		return res.AllocedBytesPerOp()
+	}
+	colBytes := measure(func() { rdd.MergeReduceCol(blocks, agg) })
+	plantedBytes := measure(func() {
+		// The per-pair copy the arena layout exists to avoid: box every
+		// (key, value) back into a rdd.Pair, then merge row-at-a-time.
+		pairs := make([][]rdd.Pair, len(blocks))
+		for i, blk := range blocks {
+			pairs[i] = blk.AppendPairs(nil)
+		}
+		rdd.MergeReduceBlocks(pairs, agg)
+	})
+
+	gate := func(bytesPerOp int64) []string {
+		rep := Report{
+			Schema:     3,
+			GoMaxProcs: 1, // sidestep the unrelated sweep-speedup gate
+			Kernels: []KernelResult{{
+				Name:       "MergeReduceBlocksIntCombine",
+				BytesPerOp: bytesPerOp,
+			}},
+		}
+		var floorHits []string
+		for _, v := range compareReports(rep, rep, 0.10, false) {
+			if strings.Contains(v, "MergeReduceBlocksIntCombine") && strings.Contains(v, "50%") {
+				floorHits = append(floorHits, v)
+			}
+		}
+		return floorHits
+	}
+
+	if hits := gate(colBytes); len(hits) != 0 {
+		t.Fatalf("columnar merge (%d B/op) must clear the floor, got: %v", colBytes, hits)
+	}
+	if hits := gate(plantedBytes); len(hits) == 0 {
+		t.Fatalf("planted per-pair copy (%d B/op) did not trip the bytes/op floor", plantedBytes)
+	}
+}

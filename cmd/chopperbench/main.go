@@ -1,13 +1,14 @@
 // Command chopperbench is the benchmark-regression harness: it measures the
-// hot-path kernels (shuffle partitioning, reduce-side merge, byte sizing),
-// the end-to-end experiment sweep at two driver widths, and the chopperd
-// serving stack under closed-loop load, then optionally gates the numbers
-// against a committed baseline (BENCH_5.json).
+// hot-path kernels (shuffle partitioning, reduce-side merge, byte sizing —
+// the columnar arena paths the engine actually runs), the end-to-end
+// experiment sweep at two driver widths, and the chopperd serving stack
+// under closed-loop load, then optionally gates the numbers against a
+// committed baseline (BENCH_9.json).
 //
 // Usage:
 //
 //	chopperbench [-runs N] [-short] [-parallel N] [-out file]
-//	             [-compare BENCH_5.json] [-tolerance 10%] [-strict-time]
+//	             [-compare BENCH_9.json] [-tolerance 10%] [-strict-time]
 //	             [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Without -compare it measures and (with -out) writes a fresh baseline.
@@ -17,8 +18,14 @@
 //     (allocation counts are machine-independent, so this gate is exact);
 //   - a kernel's allocs/op no longer holds the >=30% reduction vs the
 //     recorded pre-optimization seed numbers;
-//   - ns/op regresses beyond tolerance, only under -strict-time (wall times
-//     are machine-dependent, so this gate is opt-in);
+//   - an arena-gated kernel's bytes/op no longer holds the >=50% reduction
+//     vs the compiled-in boxed pre-arena numbers (prevKernels, the BENCH_5
+//     row-at-a-time data path) — the columnar-layout floor;
+//   - peak RSS exceeds the baseline's by more than max(tolerance, 25%)
+//     when the run shapes match (same -short setting);
+//   - ns/op or sweep wall time regress beyond tolerance, only under
+//     -strict-time (machine-dependent, so the tight gate is opt-in; with
+//     matching shapes the sweep always gates at a loose 50% guard);
 //   - the end-to-end sweep speedup at -parallel workers vs sequential falls
 //     below the floor for this machine's GOMAXPROCS: >= 2.0 with 4+ procs,
 //     >= 1.3 with 2-3, not gated on a single-proc machine (run-level
@@ -63,14 +70,17 @@ type EndToEnd struct {
 	Speedup       float64 `json:"speedup"`
 }
 
-// Report is the chopperbench output schema (BENCH_5.json). Schema 2 added
-// the chopperd service row.
+// Report is the chopperbench output schema (BENCH_9.json). Schema 2 added
+// the chopperd service row; schema 3 switched the kernel rows to the
+// columnar arena paths and added the prev_kernels column (the boxed
+// pre-arena numbers backing the bytes/op floor).
 type Report struct {
 	Schema      int            `json:"schema"`
 	GoMaxProcs  int            `json:"go_maxprocs"`
 	Short       bool           `json:"short"`
 	Kernels     []KernelResult `json:"kernels"`
 	SeedKernels []KernelResult `json:"seed_kernels"`
+	PrevKernels []KernelResult `json:"prev_kernels"`
 	EndToEnd    EndToEnd       `json:"end_to_end"`
 	Service     ServiceBench   `json:"service"`
 	PeakRSS     int64          `json:"peak_rss_bytes"`
@@ -100,6 +110,34 @@ var seedGated = map[string]bool{
 	"LogicalPairsBytes":              true,
 }
 
+// prevKernels are the kernel numbers of the last boxed row-at-a-time
+// baseline (BENCH_5, the pre-arena data path) on the reference machine.
+// They back the >=50% bytes/op reduction floor of the columnar arena
+// layout. Allocated bytes per op are machine-independent, so the floor is
+// compiled in rather than read from the comparison baseline: a future
+// re-baseline cannot quietly relax it.
+var prevKernels = []KernelResult{
+	{Name: "PartitionPairsIntCombine", NsPerOp: 470934, AllocsPerOp: 1370, BytesPerOp: 354706},
+	{Name: "PartitionPairsStringCombine", NsPerOp: 708233, AllocsPerOp: 1627, BytesPerOp: 477699},
+	{Name: "PartitionPairsNoCombine", NsPerOp: 309617, AllocsPerOp: 67, BytesPerOp: 317441},
+	{Name: "MergeReduceBlocksIntCombine", NsPerOp: 402216, AllocsPerOp: 1317, BytesPerOp: 393145},
+	{Name: "MergeReduceBlocksStringCombine", NsPerOp: 631081, AllocsPerOp: 1573, BytesPerOp: 606138},
+	{Name: "MergeReduceBlocksNoAgg", NsPerOp: 4995596, AllocsPerOp: 8197, BytesPerOp: 655475},
+	{Name: "LogicalPairsBytes", NsPerOp: 98811, AllocsPerOp: 0, BytesPerOp: 0},
+}
+
+// arenaGated lists the kernels the columnar arena layout rewrote: their
+// bytes/op must stay >=50% below the boxed prevKernels numbers. The
+// no-agg concat and the sizing kernels are excluded (the first was
+// already slice-dominated, the second allocation-free).
+var arenaGated = map[string]bool{
+	"PartitionPairsIntCombine":       true,
+	"PartitionPairsStringCombine":    true,
+	"PartitionPairsNoCombine":        true,
+	"MergeReduceBlocksIntCombine":    true,
+	"MergeReduceBlocksStringCombine": true,
+}
+
 type kernel struct {
 	name string
 	fn   func(b *testing.B)
@@ -127,37 +165,52 @@ func benchStringPairs(n, keys int) []rdd.Row {
 	return rows
 }
 
-func benchBlocks(rows []rdd.Row, maps int, agg *rdd.Aggregator) [][]rdd.Pair {
+// benchColBlocks builds per-map-task arena views, the shape the reduce
+// side reads through shuffle.Manager.ReduceInput.
+func benchColBlocks(rows []rdd.Row, maps int, agg *rdd.Aggregator) []*rdd.ColBlock {
 	p := rdd.NewHashPartitioner(1)
-	blocks := make([][]rdd.Pair, maps)
+	blocks := make([]*rdd.ColBlock, maps)
 	for m := 0; m < maps; m++ {
 		lo, hi := m*len(rows)/maps, (m+1)*len(rows)/maps
-		bk, err := rdd.PartitionPairs(rows[lo:hi], p, agg)
+		cols, boxed, err := rdd.PartitionPairsCol(rows[lo:hi], p, agg)
 		if err != nil {
 			panic(err)
 		}
-		blocks[m] = bk[0]
+		if cols == nil {
+			blocks[m] = &rdd.ColBlock{Kind: rdd.ColNone, Pairs: boxed[0]}
+		} else {
+			blk := cols.Bucket(0)
+			blocks[m] = &blk
+		}
 	}
 	return blocks
 }
 
 func kernels() []kernel {
+	// The partition and merge rows keep their historical names but measure
+	// the columnar arena paths — the code the engine actually runs; the
+	// boxed PartitionPairs/MergeReduceBlocks fallback stays pinned by the
+	// engine-vs-oracle fuzz target, not by this harness.
 	partition := func(rows []rdd.Row, agg *rdd.Aggregator) func(b *testing.B) {
 		p := rdd.NewHashPartitioner(64)
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := rdd.PartitionPairs(rows, p, agg); err != nil {
+				cols, _, err := rdd.PartitionPairsCol(rows, p, agg)
+				if err != nil {
 					b.Fatal(err)
+				}
+				if cols == nil {
+					b.Fatal("bench rows fell back to the boxed path")
 				}
 			}
 		}
 	}
-	merge := func(blocks [][]rdd.Pair, agg *rdd.Aggregator) func(b *testing.B) {
+	merge := func(blocks []*rdd.ColBlock, agg *rdd.Aggregator) func(b *testing.B) {
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				rdd.MergeReduceBlocks(blocks, agg)
+				rdd.MergeReduceCol(blocks, agg)
 			}
 		}
 	}
@@ -167,17 +220,27 @@ func kernels() []kernel {
 	if err != nil {
 		panic(err)
 	}
+	sizedCols, _, err := rdd.PartitionPairsCol(intRows, rdd.NewHashPartitioner(1), nil)
+	if err != nil || sizedCols == nil {
+		panic(fmt.Sprintf("columnar sizing fixture fell back: %v", err))
+	}
 	return []kernel{
 		{"PartitionPairsIntCombine", partition(intRows, rdd.SumAggregator())},
 		{"PartitionPairsStringCombine", partition(strRows, rdd.SumAggregator())},
 		{"PartitionPairsNoCombine", partition(intRows, nil)},
-		{"MergeReduceBlocksIntCombine", merge(benchBlocks(intRows, 16, rdd.SumAggregator()), rdd.SumAggregator())},
-		{"MergeReduceBlocksStringCombine", merge(benchBlocks(strRows, 16, rdd.SumAggregator()), rdd.SumAggregator())},
-		{"MergeReduceBlocksNoAgg", merge(benchBlocks(intRows, 16, nil), nil)},
+		{"MergeReduceBlocksIntCombine", merge(benchColBlocks(intRows, 16, rdd.SumAggregator()), rdd.SumAggregator())},
+		{"MergeReduceBlocksStringCombine", merge(benchColBlocks(strRows, 16, rdd.SumAggregator()), rdd.SumAggregator())},
+		{"MergeReduceBlocksNoAgg", merge(benchColBlocks(intRows, 16, nil), nil)},
 		{"LogicalPairsBytes", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rdd.LogicalPairsBytes(sizedBk[0], 1000.0)
+			}
+		}},
+		{"ColBucketLogicalBytes", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sizedCols.LogicalBytes(0, 1000.0)
 			}
 		}},
 	}
@@ -321,6 +384,51 @@ func compareReports(cur, base Report, tol float64, strictTime bool) []string {
 			}
 		}
 	}
+	// Columnar-layout floor: arena-gated kernels hold a >=50% bytes/op
+	// reduction against the compiled-in boxed pre-arena numbers, so the
+	// gate survives any re-baseline.
+	for _, pk := range prevKernels {
+		if !arenaGated[pk.Name] {
+			continue
+		}
+		c, ok := curBy[pk.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"kernel %s: arena-gated but not measured", pk.Name))
+			continue
+		}
+		if float64(c.BytesPerOp) > 0.5*float64(pk.BytesPerOp) {
+			violations = append(violations, fmt.Sprintf(
+				"kernel %s: bytes/op %d no longer >=50%% below the boxed pre-arena %d",
+				pk.Name, c.BytesPerOp, pk.BytesPerOp))
+		}
+	}
+	if cur.Short == base.Short {
+		// Same run shape: memory and wall time are comparable. RSS gates
+		// at a loosened tolerance (the process peak includes the Go
+		// runtime's sizing choices); the sweep always gates at a loose 50%
+		// guard and tightens to the tolerance under -strict-time.
+		if base.PeakRSS > 0 {
+			rssTol := tol
+			if rssTol < 0.25 {
+				rssTol = 0.25
+			}
+			if float64(cur.PeakRSS) > float64(base.PeakRSS)*(1+rssTol) {
+				violations = append(violations, fmt.Sprintf(
+					"peak RSS %.1f MB exceeds baseline %.1f MB by more than %.0f%%",
+					float64(cur.PeakRSS)/1e6, float64(base.PeakRSS)/1e6, rssTol*100))
+			}
+		}
+		sweepTol := 0.5
+		if strictTime {
+			sweepTol = tol
+		}
+		if base.EndToEnd.ParallelSec > 0 && cur.EndToEnd.ParallelSec > base.EndToEnd.ParallelSec*(1+sweepTol) {
+			violations = append(violations, fmt.Sprintf(
+				"end-to-end sweep %.2fs exceeds baseline %.2fs by more than %.0f%%",
+				cur.EndToEnd.ParallelSec, base.EndToEnd.ParallelSec, sweepTol*100))
+		}
+	}
 	if floor, gated := speedupFloor(cur.GoMaxProcs); gated {
 		if cur.EndToEnd.Speedup < floor {
 			violations = append(violations, fmt.Sprintf(
@@ -372,11 +480,12 @@ func run() error {
 
 	fmt.Println("chopperbench: kernels")
 	rep := Report{
-		Schema:      2,
+		Schema:      3,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Short:       *short,
 		Kernels:     measureKernels(*runs),
 		SeedKernels: seedKernels,
+		PrevKernels: prevKernels,
 	}
 	fmt.Println("chopperbench: end-to-end sweep")
 	if rep.EndToEnd, err = measureEndToEnd(*parallel, *short); err != nil {

@@ -50,6 +50,17 @@ type StageRunner interface {
 	CachedComplete(r *rdd.RDD) bool
 }
 
+// ShuffleRetirer is optionally implemented by stage runners whose shuffle
+// storage frees whole generations at once (the columnar arena layout).
+// At each job submission the scheduler hands it every shuffle id still
+// reachable from the job's lineage; the runner may release the rest.
+// Lineage ids — not just the ids of stages that will run — are the safe
+// set: a pruned producer stage keeps its old shuffle id on the dependency,
+// and a mid-job cache loss recomputes through exactly those old shuffles.
+type ShuffleRetirer interface {
+	RetireShufflesExcept(live []int)
+}
+
 // StageInfo is the DAG metadata reported to observers (the statistics
 // collector feeding CHOPPER's workload DB).
 type StageInfo struct {
@@ -152,6 +163,11 @@ func (s *Scheduler) RunJob(target *rdd.RDD, fn func(split int, rows []rdd.Row) (
 	if s.OnJob != nil {
 		s.OnJob(stageInfos(topo))
 	}
+	if r, ok := s.runner.(ShuffleRetirer); ok {
+		// Shuffles no earlier job left reachable from this job's lineage
+		// can never be read again: their arenas retire as one generation.
+		r.RetireShufflesExcept(liveShuffleIDs(target))
+	}
 
 	for _, wave := range Waves(topo) {
 		for _, st := range wave {
@@ -164,6 +180,23 @@ func (s *Scheduler) RunJob(target *rdd.RDD, fn func(split int, rows []rdd.Row) (
 		}
 	}
 	return s.runner.RunResult(result, fn)
+}
+
+// liveShuffleIDs collects every assigned shuffle id on any shuffle
+// dependency in target's lineage — the full reachable set, deliberately
+// ignoring cache warmth: dependencies below the cache frontier keep their
+// ids from the job that ran them, and a cache eviction mid-job (node
+// loss) recomputes through them.
+func liveShuffleIDs(target *rdd.RDD) []int {
+	var live []int
+	for _, r := range target.Lineage() {
+		for _, d := range r.Deps {
+			if sd, ok := d.(*rdd.ShuffleDep); ok && sd.ShuffleID > 0 {
+				live = append(live, sd.ShuffleID)
+			}
+		}
+	}
+	return live
 }
 
 // warmFn adapts the runner's cache-residency check for signatures.

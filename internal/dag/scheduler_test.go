@@ -379,3 +379,78 @@ func TestSchedulerInsertRepartitionAfterFixedSource(t *testing.T) {
 		t.Fatalf("insertion changed results: %d vs %d keys", len(got), len(want))
 	}
 }
+
+// retiringRunner records every live-shuffle set the scheduler hands to
+// RetireShufflesExcept, so tests can pin the retirement contract.
+type retiringRunner struct {
+	*fakeRunner
+	liveSets [][]int
+}
+
+func (r *retiringRunner) RetireShufflesExcept(live []int) {
+	r.liveSets = append(r.liveSets, append([]int(nil), live...))
+}
+
+func TestSchedulerRetiresStaleShuffles(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	rr := &retiringRunner{fakeRunner: newFakeRunner()}
+	_ = NewScheduler(ctx, rr)
+
+	sum := func(a, b any) any { return a.(float64) + b.(float64) }
+	redA := pairGen(ctx, 40, 5).ReduceByKey(sum, 3)
+	if _, err := redA.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.liveSets) != 1 || len(rr.liveSets[0]) != 1 {
+		t.Fatalf("job 1 live set = %v, want one assigned shuffle id", rr.liveSets)
+	}
+	idA := rr.liveSets[0][0]
+	if idA <= 0 {
+		t.Fatalf("live set must carry assigned ids, got %d", idA)
+	}
+
+	// A job over an unrelated lineage must not keep redA's shuffle live.
+	redB := pairGen(ctx, 40, 7).ReduceByKey(sum, 3)
+	if _, err := redB.Count(); err != nil {
+		t.Fatal(err)
+	}
+	live2 := rr.liveSets[1]
+	if len(live2) != 1 || live2[0] == idA {
+		t.Fatalf("job 2 live set = %v, must hold only the new lineage's shuffle", live2)
+	}
+}
+
+// TestSchedulerKeepsCachedFrontierShufflesLive pins the lineage-safety
+// half of the retirement contract: when a producer stage is pruned for
+// cache residency, its shuffle keeps the id of the job that ran it — and
+// that id must stay in the live set, because a mid-job cache eviction
+// recomputes straight through it.
+func TestSchedulerKeepsCachedFrontierShufflesLive(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	rr := &retiringRunner{fakeRunner: newFakeRunner()}
+	NewScheduler(ctx, rr)
+
+	agg := pairGen(ctx, 40, 5).
+		ReduceByKey(func(a, b any) any { return a.(float64) + b.(float64) }, 3).Cache()
+	if _, err := agg.Count(); err != nil {
+		t.Fatal(err)
+	}
+	idAgg := rr.liveSets[0][0]
+
+	// Residency declared: the producer stage is pruned, yet its shuffle id
+	// must survive in the next job's live set.
+	rr.cachedOK[agg.ID] = true
+	if _, err := agg.MapValues(func(v any) any { return v }).Count(); err != nil {
+		t.Fatal(err)
+	}
+	live2 := rr.liveSets[1]
+	found := false
+	for _, id := range live2 {
+		if id == idAgg {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("job 2 live set = %v, must keep pruned producer's shuffle %d for cache-loss recompute", live2, idAgg)
+	}
+}

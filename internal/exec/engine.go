@@ -143,7 +143,7 @@ type task struct {
 	shufBy   map[string]int64 // shuffle-input bytes by node
 	cost     float64          // logical byte-cost units
 	pending  []pendingCache
-	blocks   []shuffle.Block // map output (map stages only)
+	mapOut   shuffle.MapOutput // map output (map stages only)
 	writeB   int64
 
 	// Derived once per task at the end of the compute pass, so the
@@ -267,6 +267,15 @@ func (e *Engine) CachedComplete(r *rdd.RDD) bool {
 		}
 	}
 	return true
+}
+
+// RetireShufflesExcept implements dag.ShuffleRetirer: the scheduler hands
+// over the shuffle ids still reachable from the submitted job's lineage,
+// and every other tracked shuffle — its output tables and columnar arenas
+// — is released as one generation, keeping long tuning runs from
+// accumulating every historical shuffle in memory.
+func (e *Engine) RetireShufflesExcept(live []int) {
+	e.Shuffle.RetireExcept(live)
 }
 
 // runStages executes a set of independent stages as one scheduling round.
@@ -405,16 +414,28 @@ func (e *Engine) computeTask(t *task) error {
 	t.shufPref = topNodes(t.shufBy)
 
 	if dep := t.stage.OutDep; dep != nil {
-		buckets, err := rdd.PartitionPairs(rows, dep.Part, dep.Agg)
+		cols, buckets, err := rdd.PartitionPairsCol(rows, dep.Part, dep.Agg)
 		if err != nil {
 			return fmt.Errorf("exec: stage %d shuffle write: %w", t.stage.ID, err)
 		}
 		scale := e.Ctx.LogicalScale
-		t.blocks = make([]shuffle.Block, len(buckets))
-		for i, b := range buckets {
-			payload := int64(rdd.LogicalPairsBytes(b, scale))
-			t.blocks[i] = shuffle.Block{Pairs: b, PayloadBytes: payload}
-			t.writeB += payload + e.Shuffle.BlockOverhead(payload)
+		if cols != nil {
+			n := cols.NumBuckets()
+			payloads := make([]int64, n)
+			for i := 0; i < n; i++ {
+				payload := int64(cols.LogicalBytes(i, scale))
+				payloads[i] = payload
+				t.writeB += payload + e.Shuffle.BlockOverhead(payload)
+			}
+			t.mapOut = shuffle.MapOutput{Cols: cols, Payloads: payloads}
+		} else {
+			payloads := make([]int64, len(buckets))
+			for i, b := range buckets {
+				payload := int64(rdd.LogicalPairsBytes(b, scale))
+				payloads[i] = payload
+				t.writeB += payload + e.Shuffle.BlockOverhead(payload)
+			}
+			t.mapOut = shuffle.MapOutput{Boxed: buckets, Payloads: payloads}
 		}
 	}
 	return nil
@@ -752,7 +773,7 @@ func (e *Engine) commitPass(stages []*dag.Stage, tasks []*task, start float64, r
 			stageEnd[t.stage] = t.end
 		}
 		if dep := t.stage.OutDep; dep != nil {
-			e.Shuffle.PutMapOutput(dep.ShuffleID, t.split, t.node.Name, t.blocks)
+			e.Shuffle.PutMapOutput(dep.ShuffleID, t.split, t.node.Name, t.mapOut)
 		}
 		for _, pc := range t.pending {
 			evicted := e.Cache.Put(pc.key, t.node.Name, pc.bytes, pc.rows)

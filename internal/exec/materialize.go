@@ -112,11 +112,11 @@ func (e *Engine) shuffleRead(dep *rdd.ShuffleDep, reduce int, a *acct) ([]rdd.Ro
 	if !e.Shuffle.Complete(dep.ShuffleID) {
 		return nil, 0, fmt.Errorf("exec: shuffle %d read before map side finished", dep.ShuffleID)
 	}
-	blocks := e.Shuffle.ReduceInput(dep.ShuffleID, reduce)
+	view := e.Shuffle.ReduceInput(dep.ShuffleID, reduce)
 	for _, nb := range e.Shuffle.ReduceNodeBytes(dep.ShuffleID, reduce) {
 		a.shufBy[nb.Node] += nb.Bytes
 	}
-	rows := rdd.MergeReduceBlocks(blocks, dep.Agg)
+	rows := rdd.MergeReduceColN(view.Len(), view.BlockInto, dep.Agg)
 	bytes := rdd.LogicalRowsBytes(rows, e.Ctx.LogicalScale)
 	return rows, bytes, nil
 }

@@ -69,7 +69,9 @@ type heapRoot struct {
 var heapRoots = []heapRoot{
 	{"chopper/internal/exec", "Engine", "computePass"},
 	{"chopper/internal/rdd", "", "PartitionPairs"},
+	{"chopper/internal/rdd", "", "PartitionPairsCol"},
 	{"chopper/internal/rdd", "", "MergeReduceBlocks"},
+	{"chopper/internal/rdd", "", "MergeReduceCol"},
 	{"chopper/internal/rdd", "", "PairBytes"},
 	{"chopper/internal/shuffle", "Manager", "ReduceInput"},
 	{"chopper/internal/shuffle", "Manager", "ReduceBytes"},

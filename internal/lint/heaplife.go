@@ -37,9 +37,10 @@ var GenLife = &Analyzer{
 // lifeSourceMethods are the Manager read-path accessors whose results
 // alias cached, generation-invalidated memory.
 var lifeSourceMethods = map[string]bool{
-	"ReduceInput":     true,
-	"ReduceNodeBytes": true,
-	"snapshotOutputs": true,
+	"ReduceInput":       true,
+	"ReduceNodeBytes":   true,
+	"ReduceBytesByNode": true,
+	"snapshotOutputs":   true,
 }
 
 // lifeSourceFields are the cached-state fields themselves (reachable only

@@ -25,3 +25,24 @@ func total(m *Manager, reduce int) int64 {
 func forward(m *Manager, reduce int) []NodeBytes {
 	return m.ReduceNodeBytes(reduce)
 }
+
+// snapshotArena deep-copies an arena column before retaining it: the
+// copy owns fresh memory and survives retirement.
+func (s *arenaSink) snapshotArena(m *Manager, reduce int) {
+	views := m.ReduceInput(reduce)
+	cp := make([]float64, len(views[0].F64))
+	copy(cp, views[0].F64)
+	s.col = cp
+}
+
+// foldArena only reads scalar elements out of the column; no reference
+// to the arena memory survives the call.
+func foldArena(m *Manager, reduce int) float64 {
+	var sum float64
+	for _, v := range m.ReduceInput(reduce) {
+		for _, x := range v.F64 {
+			sum += x
+		}
+	}
+	return sum
+}

@@ -44,3 +44,25 @@ func spill(m *Manager, reduce int, sink func(int64)) {
 		sink(sum)
 	}()
 }
+
+// ColView mirrors the real arena view: its F64 column aliases the
+// writing map task's arena segment and dies with the generation.
+type ColView struct {
+	F64 []float64
+}
+
+func (m *Manager) ReduceInput(reduce int) []ColView {
+	return nil
+}
+
+// arenaSink is a heap-lived consumer of arena columns.
+type arenaSink struct {
+	col []float64
+}
+
+// retainArena stores an arena column into a heap-lived field without a
+// deep copy — retirement frees the backing segment under it.
+func (s *arenaSink) retainArena(m *Manager, reduce int) {
+	views := m.ReduceInput(reduce)
+	s.col = views[0].F64
+}

@@ -1,0 +1,835 @@
+// arena.go implements the columnar zero-copy shuffle layout (ROADMAP item
+// 4, Sparkle-style): instead of per-pair boxed rows, a map task writes its
+// shuffle output into one arena of append-only typed segments — []int64
+// for int keys, a shared []byte plus offsets for string keys, []float64
+// for unboxed F64 aggregator state, []any where values must stay boxed —
+// partitioned bucket-major so the reduce side slices its view out of the
+// arena without copying a single pair.
+//
+// The contract mirrors PartitionPairs/MergeReduceBlocks (split.go) exactly:
+// same per-bucket order (input order without combine, first-occurrence key
+// order with combine), the same per-key fold order, and sorted output keys
+// on the reduce side, so the engine's traces are byte-identical whichever
+// representation carried the pairs. Heterogeneous inputs fall back to the
+// boxed rows wholesale (ColNone); the boxed path remains the reference
+// semantics, pinned by the engine-vs-oracle fuzz.
+//
+// Ownership: a ColBuckets arena belongs to one (shuffle, map task); the
+// shuffle manager holds it until the generation retires, then drops every
+// reference at once — whole-arena frees instead of per-pair garbage. The
+// genlife lint rule enforces the reader-side contract: a ColBlock view is
+// valid only within its shuffle generation and must be deep-copied before
+// being retained anywhere heap-lived.
+package rdd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ColKind identifies the typed layout of a columnar block or arena.
+type ColKind uint8
+
+const (
+	// ColNone marks a boxed []Pair fallback block (untyped keys or
+	// heterogeneous rows); the other kinds are fully columnar.
+	ColNone ColKind = iota
+	ColIntF64
+	ColIntAny
+	ColStrF64
+	ColStrAny
+)
+
+// ColBlock is a zero-copy view of one (map task, reduce partition) shuffle
+// block. For columnar kinds the slices alias the map task's arena: valid
+// only within the shuffle generation, never to be mutated or retained
+// without a deep copy. ColNone blocks carry boxed pairs instead.
+type ColBlock struct {
+	Kind ColKind
+	// Int holds int keys (ColIntF64, ColIntAny), one per pair.
+	Int []int64
+	// Offs/Bytes hold string keys (ColStrF64, ColStrAny): key i occupies
+	// Bytes[Offs[i]:Offs[i+1]], so Offs has Len()+1 entries. Bytes is the
+	// arena's shared key segment; a block's keys are contiguous in it.
+	Offs  []int32
+	Bytes []byte
+	// F64 holds unboxed float64 values (ColIntF64, ColStrF64).
+	F64 []float64
+	// Any holds boxed values (ColIntAny, ColStrAny).
+	Any []any
+	// Pairs holds the boxed fallback rows (ColNone).
+	Pairs []Pair
+}
+
+// Len reports the number of pairs in the block.
+func (c *ColBlock) Len() int {
+	switch c.Kind {
+	case ColIntF64, ColIntAny:
+		return len(c.Int)
+	case ColStrF64:
+		return len(c.F64)
+	case ColStrAny:
+		return len(c.Any)
+	default:
+		return len(c.Pairs)
+	}
+}
+
+// strKey returns the bytes of string key i (ColStr* kinds).
+func (c *ColBlock) strKey(i int) []byte {
+	return c.Bytes[c.Offs[i]:c.Offs[i+1]]
+}
+
+// AppendPairs materializes the block's pairs onto dst, boxing each row.
+// This is the per-pair copy the columnar layout exists to avoid; it backs
+// the ColNone/mixed-kind fallback into MergeReduceBlocks and is what the
+// chopperbench deliberate-break check plants in the reduce path.
+func (c *ColBlock) AppendPairs(dst []Pair) []Pair {
+	switch c.Kind {
+	case ColIntF64:
+		for i, k := range c.Int {
+			dst = append(dst, Pair{K: int(k), V: c.F64[i]})
+		}
+	case ColIntAny:
+		for i, k := range c.Int {
+			dst = append(dst, Pair{K: int(k), V: c.Any[i]})
+		}
+	case ColStrF64:
+		for i := range c.F64 {
+			dst = append(dst, Pair{K: string(c.strKey(i)), V: c.F64[i]})
+		}
+	case ColStrAny:
+		for i := range c.Any {
+			dst = append(dst, Pair{K: string(c.strKey(i)), V: c.Any[i]})
+		}
+	default:
+		dst = append(dst, c.Pairs...)
+	}
+	return dst
+}
+
+// ColBuckets is one map task's shuffle arena: every reduce bucket's pairs
+// in typed segments, bucket-major. Bucket b owns slot range
+// [starts[b], starts[b+1]); Bucket slices views out of the segments
+// without copying.
+type ColBuckets struct {
+	kind   ColKind
+	starts []int32 // len numBuckets+1
+	ints   []int64
+	offs   []int32 // len totalPairs+1 (string kinds)
+	bytes  []byte
+	f64    []float64
+	anys   []any
+}
+
+// Kind reports the arena's typed layout.
+func (a *ColBuckets) Kind() ColKind { return a.kind }
+
+// NumBuckets reports the reduce-partition count the arena was built for.
+func (a *ColBuckets) NumBuckets() int { return len(a.starts) - 1 }
+
+// Bucket returns the zero-copy view of reduce bucket b. The view aliases
+// the arena (three-index slices, so appends cannot bleed across buckets)
+// and is valid only while the owning shuffle generation is live.
+func (a *ColBuckets) Bucket(b int) ColBlock {
+	var blk ColBlock
+	a.BucketInto(b, &blk)
+	return blk
+}
+
+// BucketInto writes bucket b's view into dst in place, sparing the
+// ~150-byte struct copy Bucket's by-value return costs on the map-side
+// hot path (one call per reduce bucket per task).
+func (a *ColBuckets) BucketInto(b int, dst *ColBlock) {
+	lo, hi := a.starts[b], a.starts[b+1]
+	*dst = ColBlock{Kind: a.kind}
+	if lo == hi {
+		return
+	}
+	switch a.kind {
+	case ColIntF64:
+		dst.Int = a.ints[lo:hi:hi]
+		dst.F64 = a.f64[lo:hi:hi]
+	case ColIntAny:
+		dst.Int = a.ints[lo:hi:hi]
+		dst.Any = a.anys[lo:hi:hi]
+	case ColStrF64:
+		dst.Offs = a.offs[lo : hi+1 : hi+1]
+		dst.Bytes = a.bytes
+		dst.F64 = a.f64[lo:hi:hi]
+	case ColStrAny:
+		dst.Offs = a.offs[lo : hi+1 : hi+1]
+		dst.Bytes = a.bytes
+		dst.Any = a.anys[lo:hi:hi]
+	}
+}
+
+// LogicalBytes is LogicalPairsBytes for bucket b: the same per-pair sizes
+// (PairBytes) scaled and summed in the same pair order, term for term, so
+// the simulated shuffle volumes are byte-identical to the boxed layout
+// (float addition is not associative; the loop order matters).
+func (a *ColBuckets) LogicalBytes(b int, scale float64) float64 {
+	lo, hi := int(a.starts[b]), int(a.starts[b+1])
+	total := 0.0
+	switch a.kind {
+	case ColIntF64:
+		// Pair of int key and float64 value: 8 + 8 + 8 bytes, scaling.
+		for i := lo; i < hi; i++ {
+			total += 24 * scale
+		}
+	case ColIntAny:
+		for i := lo; i < hi; i++ {
+			bb := float64(RowBytes(a.anys[i]) + 16)
+			if rowScalesWithInput(a.anys[i]) {
+				bb *= scale
+			}
+			total += bb
+		}
+	case ColStrF64:
+		for i := lo; i < hi; i++ {
+			total += float64(int64(a.offs[i+1]-a.offs[i])+24) * scale
+		}
+	case ColStrAny:
+		for i := lo; i < hi; i++ {
+			bb := float64(int64(a.offs[i+1]-a.offs[i]) + RowBytes(a.anys[i]) + 16)
+			if rowScalesWithInput(a.anys[i]) {
+				bb *= scale
+			}
+			total += bb
+		}
+	}
+	return total
+}
+
+// colSizeHint estimates the distinct-key count of a combine from the row
+// count: key sets are typically a small fraction of the rows (that is why
+// map-side combine pays off at all); the maps and slot arrays grow cleanly
+// when a workload exceeds it.
+func colSizeHint(rows int) int { return rows/16 + 1 }
+
+// aggAllF64 reports whether the aggregator carries the full set of unboxed
+// hooks the columnar F64 value segment needs on both shuffle sides.
+func aggAllF64(agg *Aggregator) bool {
+	return agg.CreateF64 != nil && agg.MergeValueF64 != nil && agg.MergeCombinersF64 != nil
+}
+
+// PartitionPairsCol is the arena-writing PartitionPairs: it routes one map
+// partition's pairs into a columnar ColBuckets arena when the rows fit a
+// typed layout, and otherwise falls back to the boxed buckets of
+// PartitionPairs wholesale. Exactly one of the results is non-nil. The
+// produced buckets are byte-identical to PartitionPairs in content and
+// order on every path.
+func PartitionPairsCol(rows []Row, p Partitioner, agg *Aggregator) (*ColBuckets, [][]Pair, error) {
+	if agg != nil && agg.MapSideCombine {
+		if len(rows) > 0 {
+			if pr, ok := rows[0].(Pair); ok {
+				_, vF64 := pr.V.(float64)
+				f64 := vF64 && aggAllF64(agg)
+				switch pr.K.(type) {
+				case int:
+					if a, ok, err := colCombineInt(rows, p, agg, f64); ok || err != nil {
+						return a, nil, err
+					}
+				case string:
+					if a, ok, err := colCombineStr(rows, p, agg, f64); ok || err != nil {
+						return a, nil, err
+					}
+				}
+			}
+		}
+		buckets, err := combinePairs(rows, p, agg)
+		return nil, buckets, err
+	}
+	if len(rows) > 0 {
+		if pr, ok := rows[0].(Pair); ok {
+			if _, isInt := pr.K.(int); isInt {
+				// Without an aggregator the values may move into an
+				// unboxed F64 segment (the reduce side boxes once per
+				// row on emission either way). With a reduce-only
+				// aggregator the values stay in their existing boxes so
+				// the reduce-side fold adds no re-boxing.
+				_, vF64 := pr.V.(float64)
+				if a, ok, err := colScatterInt(rows, p, agg == nil && vF64); ok || err != nil {
+					return a, nil, err
+				}
+			}
+		}
+	}
+	buckets, err := scatterPairs(rows, p)
+	return nil, buckets, err
+}
+
+// colCombineInt is the map-side combine writer for int keys. One global
+// key→slot map replaces the per-bucket maps of the boxed path: per-key
+// state lives in slot-order arrays, and emission scatters the slots
+// bucket-major, preserving per-bucket first-occurrence order (every
+// occurrence of a key lands in the same bucket, so the global
+// first-occurrence order filtered to one bucket is that bucket's own).
+func colCombineInt(rows []Row, p Partitioner, agg *Aggregator, f64 bool) (*ColBuckets, bool, error) {
+	hint := colSizeHint(len(rows))
+	slots := make(map[int]int32, hint)
+	keys := make([]int64, 0, hint)
+	bucketOf := make([]int32, 0, hint)
+
+	if f64 {
+		if agg.CreateF64 != nil && agg.MergeValueF64 != nil {
+			vals := make([]float64, 0, hint)
+			for _, row := range rows {
+				pr, ok := row.(Pair)
+				if !ok {
+					return nil, false, fmt.Errorf("rdd: shuffling non-pair row %T", row)
+				}
+				k, ok := pr.K.(int)
+				if !ok {
+					return nil, false, nil
+				}
+				v, ok := pr.V.(float64)
+				if !ok {
+					return nil, false, nil
+				}
+				if s, ok := slots[k]; ok {
+					vals[s] = agg.MergeValueF64(vals[s], v)
+				} else {
+					slots[k] = int32(len(keys))
+					keys = append(keys, int64(k))
+					bucketOf = append(bucketOf, int32(p.PartitionFor(pr.K)))
+					vals = append(vals, agg.CreateF64(v))
+				}
+			}
+			return emitColInt(p.NumPartitions(), keys, bucketOf, vals, nil), true, nil
+		}
+		return nil, false, nil
+	}
+
+	vals := make([]any, 0, hint)
+	for _, row := range rows {
+		pr, ok := row.(Pair)
+		if !ok {
+			return nil, false, fmt.Errorf("rdd: shuffling non-pair row %T", row)
+		}
+		k, ok := pr.K.(int)
+		if !ok {
+			return nil, false, nil
+		}
+		if s, ok := slots[k]; ok {
+			vals[s] = agg.MergeValue(vals[s], pr.V)
+		} else {
+			slots[k] = int32(len(keys))
+			keys = append(keys, int64(k))
+			bucketOf = append(bucketOf, int32(p.PartitionFor(pr.K)))
+			vals = append(vals, agg.Create(pr.V))
+		}
+	}
+	return emitColInt(p.NumPartitions(), keys, bucketOf, nil, vals), true, nil
+}
+
+// colCombineStr is colCombineInt for string keys; emission additionally
+// packs the keys into the arena's shared byte segment, bucket-contiguous.
+func colCombineStr(rows []Row, p Partitioner, agg *Aggregator, f64 bool) (*ColBuckets, bool, error) {
+	hint := colSizeHint(len(rows))
+	slots := make(map[string]int32, hint)
+	keys := make([]string, 0, hint)
+	bucketOf := make([]int32, 0, hint)
+
+	if f64 {
+		if agg.CreateF64 != nil && agg.MergeValueF64 != nil {
+			vals := make([]float64, 0, hint)
+			for _, row := range rows {
+				pr, ok := row.(Pair)
+				if !ok {
+					return nil, false, fmt.Errorf("rdd: shuffling non-pair row %T", row)
+				}
+				k, ok := pr.K.(string)
+				if !ok {
+					return nil, false, nil
+				}
+				v, ok := pr.V.(float64)
+				if !ok {
+					return nil, false, nil
+				}
+				if s, ok := slots[k]; ok {
+					vals[s] = agg.MergeValueF64(vals[s], v)
+				} else {
+					slots[k] = int32(len(keys))
+					keys = append(keys, k)
+					bucketOf = append(bucketOf, int32(p.PartitionFor(pr.K)))
+					vals = append(vals, agg.CreateF64(v))
+				}
+			}
+			return emitColStr(p.NumPartitions(), keys, bucketOf, vals, nil), true, nil
+		}
+		return nil, false, nil
+	}
+
+	vals := make([]any, 0, hint)
+	for _, row := range rows {
+		pr, ok := row.(Pair)
+		if !ok {
+			return nil, false, fmt.Errorf("rdd: shuffling non-pair row %T", row)
+		}
+		k, ok := pr.K.(string)
+		if !ok {
+			return nil, false, nil
+		}
+		if s, ok := slots[k]; ok {
+			vals[s] = agg.MergeValue(vals[s], pr.V)
+		} else {
+			slots[k] = int32(len(keys))
+			keys = append(keys, k)
+			bucketOf = append(bucketOf, int32(p.PartitionFor(pr.K)))
+			vals = append(vals, agg.Create(pr.V))
+		}
+	}
+	return emitColStr(p.NumPartitions(), keys, bucketOf, nil, vals), true, nil
+}
+
+// emitColInt scatters combine slots into a bucket-major int-key arena.
+// Exactly one of f64s/anys is non-nil and selects the value segment.
+func emitColInt(n int, keys []int64, bucketOf []int32, f64s []float64, anys []any) *ColBuckets {
+	starts := make([]int32, n+1)
+	for _, b := range bucketOf {
+		starts[b+1]++
+	}
+	for b := 0; b < n; b++ {
+		starts[b+1] += starts[b]
+	}
+	cursor := make([]int32, n)
+	ints := make([]int64, len(keys))
+	a := &ColBuckets{starts: starts, ints: ints}
+	if f64s != nil {
+		a.kind = ColIntF64
+		out := make([]float64, len(keys))
+		for s, k := range keys {
+			b := bucketOf[s]
+			pos := starts[b] + cursor[b]
+			cursor[b]++
+			ints[pos] = k
+			out[pos] = f64s[s]
+		}
+		a.f64 = out
+		return a
+	}
+	a.kind = ColIntAny
+	out := make([]any, len(keys))
+	for s, k := range keys {
+		b := bucketOf[s]
+		pos := starts[b] + cursor[b]
+		cursor[b]++
+		ints[pos] = k
+		out[pos] = anys[s]
+	}
+	a.anys = out
+	return a
+}
+
+// emitColStr scatters combine slots into a bucket-major string-key arena:
+// slot keys pack into one shared byte segment so each bucket's keys are
+// contiguous and the absolute offsets close over bucket boundaries (key
+// i ends where key i+1 starts, the last ends at len(bytes)).
+func emitColStr(n int, keys []string, bucketOf []int32, f64s []float64, anys []any) *ColBuckets {
+	starts := make([]int32, n+1)
+	byteStarts := make([]int32, n+1)
+	for s, b := range bucketOf {
+		starts[b+1]++
+		byteStarts[b+1] += int32(len(keys[s]))
+	}
+	for b := 0; b < n; b++ {
+		starts[b+1] += starts[b]
+		byteStarts[b+1] += byteStarts[b]
+	}
+	cursor := make([]int32, n)
+	byteCursor := make([]int32, n)
+	bytes := make([]byte, byteStarts[n])
+	offs := make([]int32, len(keys)+1)
+	offs[len(keys)] = byteStarts[n]
+	a := &ColBuckets{starts: starts, offs: offs, bytes: bytes}
+	place := func(s int) int32 {
+		b := bucketOf[s]
+		pos := starts[b] + cursor[b]
+		cursor[b]++
+		off := byteStarts[b] + byteCursor[b]
+		copy(bytes[off:], keys[s])
+		byteCursor[b] += int32(len(keys[s]))
+		offs[pos] = off
+		return pos
+	}
+	if f64s != nil {
+		a.kind = ColStrF64
+		out := make([]float64, len(keys))
+		for s := range keys {
+			out[place(s)] = f64s[s]
+		}
+		a.f64 = out
+		return a
+	}
+	a.kind = ColStrAny
+	out := make([]any, len(keys))
+	for s := range keys {
+		out[place(s)] = anys[s]
+	}
+	a.anys = out
+	return a
+}
+
+// colScatterInt is the combine-free arena writer for int keys: two passes
+// (count and validate, then place) instead of the boxed path's per-row
+// index scratch, each row in its bucket in input order. wantF64 moves
+// all-float64 values into the unboxed segment; otherwise values keep
+// their existing boxes in the any segment.
+func colScatterInt(rows []Row, p Partitioner, wantF64 bool) (*ColBuckets, bool, error) {
+	n := p.NumPartitions()
+	starts := make([]int32, n+1)
+	allF64 := wantF64
+	for _, row := range rows {
+		pr, ok := row.(Pair)
+		if !ok {
+			return nil, false, fmt.Errorf("rdd: shuffling non-pair row %T", row)
+		}
+		if _, ok := pr.K.(int); !ok {
+			return nil, false, nil
+		}
+		if allF64 {
+			if _, ok := pr.V.(float64); !ok {
+				allF64 = false
+			}
+		}
+		starts[p.PartitionFor(pr.K)+1]++
+	}
+	for b := 0; b < n; b++ {
+		starts[b+1] += starts[b]
+	}
+	total := starts[n]
+	cursor := make([]int32, n)
+	ints := make([]int64, total)
+	a := &ColBuckets{starts: starts, ints: ints}
+	if allF64 {
+		a.kind = ColIntF64
+		f64s := make([]float64, total)
+		for _, row := range rows {
+			pr := row.(Pair)
+			b := p.PartitionFor(pr.K)
+			pos := starts[b] + cursor[b]
+			cursor[b]++
+			ints[pos] = int64(pr.K.(int))
+			f64s[pos] = pr.V.(float64)
+		}
+		a.f64 = f64s
+		return a, true, nil
+	}
+	a.kind = ColIntAny
+	anys := make([]any, total)
+	for _, row := range rows {
+		pr := row.(Pair)
+		b := p.PartitionFor(pr.K)
+		pos := starts[b] + cursor[b]
+		cursor[b]++
+		ints[pos] = int64(pr.K.(int))
+		anys[pos] = pr.V
+	}
+	a.anys = anys
+	return a, true, nil
+}
+
+// MergeReduceCol is MergeReduceBlocks over zero-copy views: it merges the
+// columnar blocks destined for one reduce partition (one per map task, in
+// map-task order) directly out of the arenas — no per-pair boxing until
+// the once-per-key (or once-per-row, without an aggregator) emission.
+// Mixed or boxed-fallback inputs materialize into pairs and take the
+// boxed reference path, byte-identical by construction.
+func MergeReduceCol(blocks []*ColBlock, agg *Aggregator) []Row {
+	return MergeReduceColN(len(blocks), func(i int, dst *ColBlock) { *dst = *blocks[i] }, agg)
+}
+
+// MergeReduceColN is the streaming form of MergeReduceCol: get(i, dst)
+// must fully overwrite dst with block i's view (blocks are visited in
+// map-task order, possibly more than once). The engine feeds it straight
+// from the per-map arenas through shuffle.ReduceView.BlockInto, so a
+// reduce merge never materializes a heap-resident slice of ~150-byte
+// block headers — one stack scratch block is reused across the input.
+func MergeReduceColN(n int, get func(int, *ColBlock), agg *Aggregator) []Row {
+	kind := ColNone
+	total, maxLen := 0, 0
+	mixed := false
+	var blk ColBlock
+	for i := 0; i < n; i++ {
+		get(i, &blk)
+		l := blk.Len()
+		if l == 0 {
+			continue
+		}
+		total += l
+		if l > maxLen {
+			maxLen = l
+		}
+		switch k := blk.Kind; {
+		case k == ColNone:
+			mixed = true
+		case kind == ColNone:
+			kind = k
+		case kind != k:
+			mixed = true
+		}
+	}
+	if total == 0 {
+		return MergeReduceBlocks(nil, agg)
+	}
+	if !mixed {
+		switch kind {
+		case ColIntF64:
+			if agg == nil {
+				return concatColIntF64(n, get, total)
+			}
+			if out, ok := mergeColIntF64(n, get, maxLen, agg); ok {
+				return out
+			}
+		case ColIntAny:
+			if agg == nil {
+				return concatColIntAny(n, get, total)
+			}
+			return mergeColIntAny(n, get, maxLen, agg)
+		case ColStrF64:
+			if agg != nil {
+				if out, ok := mergeColStrF64(n, get, maxLen, agg); ok {
+					return out
+				}
+			}
+		case ColStrAny:
+			if agg != nil {
+				return mergeColStrAny(n, get, maxLen, agg)
+			}
+		}
+	}
+	return MergeReduceBlocks(materializeCols(n, get), agg)
+}
+
+// materializeCols boxes columnar views back into pair blocks — the
+// reference fallback for mixed kinds (and the shape the deliberate-break
+// bench check plants to prove the bytes/op floor trips).
+func materializeCols(n int, get func(int, *ColBlock)) [][]Pair {
+	out := make([][]Pair, n)
+	var blk ColBlock
+	for i := 0; i < n; i++ {
+		get(i, &blk)
+		if l := blk.Len(); l > 0 {
+			out[i] = blk.AppendPairs(make([]Pair, 0, l))
+		}
+	}
+	return out
+}
+
+// concatColIntF64 is the no-aggregator merge for int/float64 blocks:
+// concatenate in block order, stable-sort by key through an index
+// permutation (the typed columns make comparisons and swaps cheap), box
+// each row once on emission.
+func concatColIntF64(n int, get func(int, *ColBlock), total int) []Row {
+	keys := make([]int64, 0, total)
+	vals := make([]float64, 0, total)
+	var blk ColBlock
+	for i := 0; i < n; i++ {
+		get(i, &blk)
+		keys = append(keys, blk.Int...)
+		vals = append(vals, blk.F64...)
+	}
+	idx := stableKeyOrder(keys)
+	out := make([]Row, total)
+	for i, j := range idx {
+		out[i] = Pair{K: int(keys[j]), V: vals[j]}
+	}
+	return out
+}
+
+// concatColIntAny is concatColIntF64 with boxed values.
+func concatColIntAny(n int, get func(int, *ColBlock), total int) []Row {
+	keys := make([]int64, 0, total)
+	vals := make([]any, 0, total)
+	var blk ColBlock
+	for i := 0; i < n; i++ {
+		get(i, &blk)
+		keys = append(keys, blk.Int...)
+		vals = append(vals, blk.Any...)
+	}
+	idx := stableKeyOrder(keys)
+	out := make([]Row, total)
+	for i, j := range idx {
+		out[i] = Pair{K: int(keys[j]), V: vals[j]}
+	}
+	return out
+}
+
+// stableKeyOrder returns the stable-by-key permutation of keys.
+func stableKeyOrder(keys []int64) []int32 {
+	idx := make([]int32, len(keys))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return keys[idx[i]] < keys[idx[j]] })
+	return idx
+}
+
+// mergeColIntF64 is the unboxed reduce-side fold for int/float64 blocks,
+// mirroring mergeBlocksTyped's F64 branch: map-task order, per-key fold in
+// pair order, first-occurrence key tracking, sorted emission.
+func mergeColIntF64(n int, get func(int, *ColBlock), hint int, agg *Aggregator) ([]Row, bool) {
+	if agg.MergeCombinersF64 != nil && agg.CreateF64 != nil {
+		acc := make(map[int64]float64, hint)
+		order := make([]int64, 0, hint)
+		var blk ColBlock
+		for bi := 0; bi < n; bi++ {
+			get(bi, &blk)
+			ints, f64s := blk.Int, blk.F64
+			for i, k := range ints {
+				v := f64s[i]
+				if cur, ok := acc[k]; ok {
+					if agg.MapSideCombine {
+						acc[k] = agg.MergeCombinersF64(cur, v)
+					} else {
+						acc[k] = agg.MergeValueF64(cur, v)
+					}
+				} else {
+					if agg.MapSideCombine {
+						acc[k] = v // already a combiner from the map side
+					} else {
+						acc[k] = agg.CreateF64(v)
+					}
+					order = append(order, k)
+				}
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		out := make([]Row, len(order))
+		for i, k := range order {
+			//lint:ignore boxf64 emission boxes once per key at the typed-region boundary; the per-record accumulation stays unboxed
+			out[i] = Pair{K: int(k), V: acc[k]}
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// mergeColIntAny folds int-keyed boxed values, mirroring mergeBlocksTyped's
+// generic branch (the values were boxed at the source, so the fold itself
+// adds no new boxes).
+func mergeColIntAny(n int, get func(int, *ColBlock), hint int, agg *Aggregator) []Row {
+	acc := make(map[int64]any, hint)
+	order := make([]int64, 0, hint)
+	var blk ColBlock
+	for bi := 0; bi < n; bi++ {
+		get(bi, &blk)
+		ints, anys := blk.Int, blk.Any
+		for i, k := range ints {
+			v := anys[i]
+			if cur, ok := acc[k]; ok {
+				if agg.MapSideCombine {
+					acc[k] = agg.MergeCombiners(cur, v)
+				} else {
+					acc[k] = agg.MergeValue(cur, v)
+				}
+			} else {
+				if agg.MapSideCombine {
+					acc[k] = v // already a combiner from the map side
+				} else {
+					acc[k] = agg.Create(v)
+				}
+				order = append(order, k)
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]Row, len(order))
+	for i, k := range order {
+		out[i] = Pair{K: int(k), V: acc[k]}
+	}
+	return out
+}
+
+// mergeColStrF64 is the unboxed fold for string/float64 blocks. Lookups go
+// through the allocation-free m[string(bytes)] form; the key string is
+// allocated exactly once per distinct key, at slot creation, and per-key
+// state lives in slot arrays so no map assignment re-converts the key.
+func mergeColStrF64(n int, get func(int, *ColBlock), hint int, agg *Aggregator) ([]Row, bool) {
+	if agg.MergeCombinersF64 != nil && agg.CreateF64 != nil {
+		slots := make(map[string]int32, hint)
+		keys := make([]string, 0, hint)
+		vals := make([]float64, 0, hint)
+		var blk ColBlock
+		for bi := 0; bi < n; bi++ {
+			get(bi, &blk)
+			for i := range blk.F64 {
+				kb := blk.strKey(i)
+				v := blk.F64[i]
+				if s, ok := slots[string(kb)]; ok {
+					if agg.MapSideCombine {
+						vals[s] = agg.MergeCombinersF64(vals[s], v)
+					} else {
+						vals[s] = agg.MergeValueF64(vals[s], v)
+					}
+				} else {
+					k := string(kb)
+					slots[k] = int32(len(keys))
+					keys = append(keys, k)
+					if agg.MapSideCombine {
+						vals = append(vals, v) // already a combiner from the map side
+					} else {
+						vals = append(vals, agg.CreateF64(v))
+					}
+				}
+			}
+		}
+		idx := sortedStrSlots(keys)
+		out := make([]Row, len(keys))
+		for i, s := range idx {
+			//lint:ignore boxf64 emission boxes once per key at the typed-region boundary; the per-record accumulation stays unboxed
+			out[i] = Pair{K: keys[s], V: vals[s]}
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// mergeColStrAny folds string-keyed boxed values.
+func mergeColStrAny(n int, get func(int, *ColBlock), hint int, agg *Aggregator) []Row {
+	slots := make(map[string]int32, hint)
+	keys := make([]string, 0, hint)
+	vals := make([]any, 0, hint)
+	var blk ColBlock
+	for bi := 0; bi < n; bi++ {
+		get(bi, &blk)
+		for i := range blk.Any {
+			kb := blk.strKey(i)
+			v := blk.Any[i]
+			if s, ok := slots[string(kb)]; ok {
+				if agg.MapSideCombine {
+					vals[s] = agg.MergeCombiners(vals[s], v)
+				} else {
+					vals[s] = agg.MergeValue(vals[s], v)
+				}
+			} else {
+				k := string(kb)
+				slots[k] = int32(len(keys))
+				keys = append(keys, k)
+				if agg.MapSideCombine {
+					vals = append(vals, v) // already a combiner from the map side
+				} else {
+					vals = append(vals, agg.Create(v))
+				}
+			}
+		}
+	}
+	idx := sortedStrSlots(keys)
+	out := make([]Row, len(keys))
+	for i, s := range idx {
+		out[i] = Pair{K: keys[s], V: vals[s]}
+	}
+	return out
+}
+
+// sortedStrSlots returns slot indices ordered by key (keys are distinct,
+// so the unstable sort is deterministic, mirroring the boxed path).
+func sortedStrSlots(keys []string) []int32 {
+	idx := make([]int32, len(keys))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(i, j int) bool { return keys[idx[i]] < keys[idx[j]] })
+	return idx
+}

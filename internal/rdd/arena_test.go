@@ -1,0 +1,280 @@
+package rdd
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// arenaAggs are the aggregator shapes the engine shuffles under, nil
+// meaning a plain repartition. Float-asserting aggregators are only
+// valid over float64 values, so callers pass whether the row set
+// carries them.
+func arenaAggs(f64Vals bool) map[string]*Aggregator {
+	aggs := map[string]*Aggregator{
+		"nil":    nil,
+		"concat": ReduceAggregator(func(a, b any) any { return fmt.Sprint(a) + "|" + fmt.Sprint(b) }),
+		"group":  GroupAggregator(),
+	}
+	if f64Vals {
+		aggs["sum"] = SumAggregator()
+		aggs["reduce"] = ReduceAggregator(func(a, b any) any { return a.(float64) + b.(float64) })
+	}
+	return aggs
+}
+
+// colViaArena partitions rows through the arena writer and returns the
+// per-bucket views plus whether the columnar path ran.
+func colViaArena(t *testing.T, rows []Row, p Partitioner, agg *Aggregator) ([]*ColBlock, bool) {
+	t.Helper()
+	cols, boxed, err := PartitionPairsCol(rows, p, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols == nil {
+		out := make([]*ColBlock, len(boxed))
+		for i := range boxed {
+			out[i] = &ColBlock{Kind: ColNone, Pairs: boxed[i]}
+		}
+		return out, false
+	}
+	out := make([]*ColBlock, cols.NumBuckets())
+	for b := range out {
+		blk := cols.Bucket(b)
+		out[b] = &blk
+	}
+	return out, true
+}
+
+// TestArenaMatchesBoxedPartition pins the write-side contract: for every
+// key/value/aggregator shape, the arena buckets materialize to exactly
+// the pairs PartitionPairs produces, bucket for bucket, pair for pair.
+func TestArenaMatchesBoxedPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rowSets := map[string]rowSet{
+		"int/f64":   {genRows(rng, 500, func(i int) Pair { return Pair{K: rng.Intn(40), V: rng.Float64() * 10} }), true},
+		"str/f64":   {genRows(rng, 500, func(i int) Pair { return Pair{K: fmt.Sprintf("k%03d", rng.Intn(40)), V: rng.Float64()} }), true},
+		"int/str":   {genRows(rng, 300, func(i int) Pair { return Pair{K: rng.Intn(25), V: fmt.Sprintf("v%d", i)} }), false},
+		"str/str":   {genRows(rng, 300, func(i int) Pair { return Pair{K: fmt.Sprintf("k%d", rng.Intn(25)), V: fmt.Sprintf("v%d", i)} }), false},
+		"f64 keys":  {genRows(rng, 200, func(i int) Pair { return Pair{K: rng.Float64(), V: rng.Float64()} }), true},
+		"mixed val": {genRows(rng, 200, func(i int) Pair { return mixedValPair(rng, i) }), false},
+		"empty":     {nil, true},
+	}
+	for rn, rs := range rowSets {
+		rows := rs.rows
+		for an, agg := range arenaAggs(rs.f64) {
+			for _, n := range []int{1, 7} {
+				p := NewHashPartitioner(n)
+				want, err := PartitionPairs(rows, p, agg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _ := colViaArena(t, rows, p, agg)
+				if len(got) != len(want) && !(len(got) == n && len(want) == n) {
+					t.Fatalf("%s/%s/%d: bucket count %d vs %d", rn, an, n, len(got), len(want))
+				}
+				for b := range want {
+					gp := got[b].AppendPairs(nil)
+					if !pairsEqual(gp, want[b]) {
+						t.Fatalf("%s/%s/n=%d bucket %d:\n got %v\nwant %v", rn, an, n, b, gp, want[b])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestArenaMergeMatchesBoxed pins the read-side contract end to end:
+// arena views merged with MergeReduceCol equal the boxed
+// PartitionPairs+MergeReduceBlocks pipeline, including float64 fold order.
+func TestArenaMergeMatchesBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	rowSets := map[string]rowSet{
+		"int/f64": {genRows(rng, 600, func(i int) Pair { return Pair{K: rng.Intn(50), V: rng.Float64() * 3} }), true},
+		"str/f64": {genRows(rng, 600, func(i int) Pair { return Pair{K: fmt.Sprintf("k%03d", rng.Intn(50)), V: rng.Float64()} }), true},
+		"int/str": {genRows(rng, 400, func(i int) Pair { return Pair{K: rng.Intn(30), V: fmt.Sprintf("v%d", i)} }), false},
+		"str/any": {genRows(rng, 400, func(i int) Pair { return mixedValPair(rng, i) }), false},
+		"empty":   {nil, true},
+	}
+	const maps = 4
+	for rn, rs := range rowSets {
+		rows := rs.rows
+		for an, agg := range arenaAggs(rs.f64) {
+			p := NewHashPartitioner(3)
+			for reduce := 0; reduce < 3; reduce++ {
+				var boxedBlocks [][]Pair
+				var colBlocks []*ColBlock
+				for m := 0; m < maps; m++ {
+					lo, hi := m*len(rows)/maps, (m+1)*len(rows)/maps
+					wb, err := PartitionPairs(rows[lo:hi], p, agg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					boxedBlocks = append(boxedBlocks, wb[reduce])
+					cb, _ := colViaArena(t, rows[lo:hi], p, agg)
+					colBlocks = append(colBlocks, cb[reduce])
+				}
+				want := MergeReduceBlocks(boxedBlocks, agg)
+				got := MergeReduceCol(colBlocks, agg)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s/%s reduce %d:\n got %v\nwant %v", rn, an, reduce, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaMergeMixedKinds pins the fallback: a reduce partition fed by
+// columnar and boxed map outputs at once merges through materialization,
+// identical to the all-boxed pipeline.
+func TestArenaMergeMixedKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	intRows := genRows(rng, 200, func(i int) Pair { return Pair{K: rng.Intn(20), V: rng.Float64()} })
+	// Heterogeneous keys force the boxed fallback for this map task.
+	hetRows := append(genRows(rng, 100, func(i int) Pair { return Pair{K: rng.Intn(20), V: rng.Float64()} }),
+		Pair{K: "odd-one", V: 1.5})
+	agg := SumAggregator()
+	p := NewHashPartitioner(2)
+
+	wantBlocks := make([][]Pair, 0, 2)
+	gotBlocks := make([]*ColBlock, 0, 2)
+	for _, rows := range [][]Row{intRows, hetRows} {
+		wb, err := PartitionPairs(rows, p, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBlocks = append(wantBlocks, wb[0])
+		cb, _ := colViaArena(t, rows, p, agg)
+		gotBlocks = append(gotBlocks, cb[0])
+	}
+	if gotBlocks[0].Kind == ColNone || gotBlocks[1].Kind != ColNone {
+		t.Fatalf("kind probe: want columnar+boxed mix, got %v/%v", gotBlocks[0].Kind, gotBlocks[1].Kind)
+	}
+	want := MergeReduceBlocks(wantBlocks, agg)
+	got := MergeReduceCol(gotBlocks, agg)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mixed-kind merge diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestArenaLogicalBytesMatchesBoxed pins payload accounting bit for bit:
+// simulated shuffle volumes (and through them every trace) must not
+// depend on which layout carried the pairs. Float addition is not
+// associative, so this is an exact-equality test on purpose.
+func TestArenaLogicalBytesMatchesBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	rowSets := map[string]rowSet{
+		"int/f64": {genRows(rng, 500, func(i int) Pair { return Pair{K: rng.Intn(40), V: rng.Float64()} }), true},
+		"str/f64": {genRows(rng, 500, func(i int) Pair { return Pair{K: fmt.Sprintf("key-%04d", rng.Intn(40)), V: rng.Float64()} }), true},
+		"int/str": {genRows(rng, 300, func(i int) Pair { return Pair{K: rng.Intn(25), V: fmt.Sprintf("val-%d", i%17)} }), false},
+		"str/any": {genRows(rng, 300, func(i int) Pair { return mixedValPair(rng, i) }), false},
+	}
+	for rn, rs := range rowSets {
+		rows := rs.rows
+		for an, agg := range arenaAggs(rs.f64) {
+			p := NewHashPartitioner(5)
+			boxed, err := PartitionPairs(rows, p, agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cols, _, err := PartitionPairsCol(rows, p, agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cols == nil {
+				continue // boxed fallback shares LogicalPairsBytes outright
+			}
+			for _, scale := range []float64{1, 1000.0 / 3.0} {
+				for b := range boxed {
+					want := LogicalPairsBytes(boxed[b], scale)
+					got := cols.LogicalBytes(b, scale)
+					if got != want {
+						t.Fatalf("%s/%s bucket %d scale %v: %v != %v", rn, an, b, scale, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestArenaKindSelection pins the eligibility matrix the issue specifies.
+func TestArenaKindSelection(t *testing.T) {
+	intF64 := []Row{Pair{K: 1, V: 2.0}, Pair{K: 2, V: 3.0}}
+	strF64 := []Row{Pair{K: "a", V: 2.0}, Pair{K: "b", V: 3.0}}
+	intStr := []Row{Pair{K: 1, V: "x"}}
+	strStr := []Row{Pair{K: "a", V: "x"}}
+	p := NewHashPartitioner(2)
+	cases := []struct {
+		name string
+		rows []Row
+		agg  *Aggregator
+		want ColKind
+	}{
+		{"combine int f64", intF64, SumAggregator(), ColIntF64},
+		{"combine str f64", strF64, SumAggregator(), ColStrF64},
+		{"combine int any", intStr, ReduceAggregator(func(a, b any) any { return a }), ColIntAny},
+		{"combine str any", strStr, ReduceAggregator(func(a, b any) any { return a }), ColStrAny},
+		{"scatter int f64", intF64, nil, ColIntF64},
+		{"scatter int any under group", intF64, GroupAggregator(), ColIntAny},
+		{"scatter int any values", intStr, nil, ColIntAny},
+		{"scatter str stays boxed", strF64, nil, ColNone},
+	}
+	for _, tc := range cases {
+		cols, boxed, err := PartitionPairsCol(tc.rows, p, tc.agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ColNone
+		if cols != nil {
+			got = cols.Kind()
+		}
+		if got != tc.want {
+			t.Errorf("%s: kind %v, want %v", tc.name, got, tc.want)
+		}
+		if (cols == nil) == (boxed == nil) {
+			t.Errorf("%s: exactly one result must be non-nil", tc.name)
+		}
+	}
+}
+
+// rowSet pairs test rows with whether every value is a float64 (and so
+// float-asserting aggregators are applicable).
+type rowSet struct {
+	rows []Row
+	f64  bool
+}
+
+func genRows(rng *rand.Rand, n int, f func(i int) Pair) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = f(i)
+	}
+	return rows
+}
+
+// mixedValPair produces string-keyed pairs whose values alternate types,
+// exercising the any-value segments and scale-invariance sizing.
+func mixedValPair(rng *rand.Rand, i int) Pair {
+	k := fmt.Sprintf("k%02d", rng.Intn(20))
+	switch i % 3 {
+	case 0:
+		return Pair{K: k, V: rng.Float64()}
+	case 1:
+		return Pair{K: k, V: fmt.Sprintf("s%d", i)}
+	default:
+		return Pair{K: k, V: i}
+	}
+}
+
+func pairsEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

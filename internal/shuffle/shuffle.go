@@ -25,11 +25,22 @@ import (
 	"chopper/internal/rdd"
 )
 
-// Block is the output of one map task for one reduce partition.
-type Block struct {
-	Pairs []rdd.Pair
-	// PayloadBytes is the logical serialized payload size.
-	PayloadBytes int64
+// MapOutput is the complete shuffle write of one map task: either the
+// columnar arena every reduce bucket slices out of (Cols) or the boxed
+// fallback buckets (Boxed), plus the per-reduce logical payload sizes.
+// Storing the arena itself — not a materialized per-bucket block — keeps
+// the manager's footprint at O(maps + reduces) headers per shuffle
+// instead of O(maps x reduces): with wide shuffles the ~150-byte view
+// structs would otherwise dwarf the data they point at.
+type MapOutput struct {
+	// Cols is the map task's columnar arena (nil when the task fell back
+	// to boxed pairs). Bucket r of the arena is reduce partition r's input.
+	Cols *rdd.ColBuckets
+	// Boxed holds the per-reduce boxed buckets of a fallback map task
+	// (nil when Cols is set).
+	Boxed [][]rdd.Pair
+	// Payloads is the logical serialized payload size per reduce bucket.
+	Payloads []int64
 }
 
 // NodeBytes is one entry of a reduce partition's locality profile: how many
@@ -41,14 +52,29 @@ type NodeBytes struct {
 }
 
 type mapOutput struct {
-	node   string
-	blocks []Block
+	node string
+	out  MapOutput
+}
+
+// blockInto writes reduce bucket r's zero-copy view into dst, fully
+// overwriting it: the arena bucket view for columnar outputs, or a
+// ColNone wrapper over the boxed bucket.
+func (mo *mapOutput) blockInto(r int, dst *rdd.ColBlock) {
+	if mo.out.Cols != nil {
+		mo.out.Cols.BucketInto(r, dst)
+		return
+	}
+	*dst = rdd.ColBlock{Kind: rdd.ColNone, Pairs: mo.out.Boxed[r]}
 }
 
 type reduceNodeCache struct {
 	gen   uint64 // state generation the entry was computed at
 	valid bool
 	nodes []NodeBytes
+	// byNode is the same profile keyed by node, built alongside nodes so
+	// ReduceBytesByNode serves from the cache instead of rebuilding a map
+	// per call. Callers must not mutate it.
+	byNode map[string]int64
 }
 
 type state struct {
@@ -61,6 +87,9 @@ type state struct {
 	// while their gen matches.
 	gen       uint64
 	nodeCache []reduceNodeCache
+	// retired marks a generation whose arenas have been released; any
+	// read of its outputs is a lifecycle bug and panics loudly.
+	retired bool
 }
 
 // Manager tracks all shuffles of a run.
@@ -90,8 +119,8 @@ func (m *Manager) BlockOverhead(payloadBytes int64) int64 {
 }
 
 // blockBytes is payload plus overhead for one block.
-func (m *Manager) blockBytes(b Block) int64 {
-	return b.PayloadBytes + m.BlockOverhead(b.PayloadBytes)
+func (m *Manager) blockBytes(payload int64) int64 {
+	return payload + m.BlockOverhead(payload)
 }
 
 // Register announces a shuffle before its map stage runs. Re-registering an
@@ -110,27 +139,37 @@ func (m *Manager) Register(shuffleID, numMaps, numReduce int) {
 	}
 }
 
-// PutMapOutput records the blocks map task mapTask wrote on node. It returns
+// PutMapOutput records the output map task mapTask wrote on node. It returns
 // the total bytes written (payload plus per-block overhead), the quantity
 // the metrics layer reports as shuffle write.
-func (m *Manager) PutMapOutput(shuffleID, mapTask int, node string, blocks []Block) int64 {
+func (m *Manager) PutMapOutput(shuffleID, mapTask int, node string, out MapOutput) int64 {
 	st := m.mustGet(shuffleID)
 	var bytes int64
-	for _, b := range blocks {
-		bytes += m.blockBytes(b)
+	for _, p := range out.Payloads {
+		bytes += m.blockBytes(p)
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.retired {
+		panic(fmt.Sprintf("shuffle %d: write after retirement", shuffleID))
+	}
 	if mapTask < 0 || mapTask >= st.numMaps {
 		panic(fmt.Sprintf("shuffle %d: map task %d out of range [0,%d)", shuffleID, mapTask, st.numMaps))
 	}
-	if len(blocks) != st.numReduce {
-		panic(fmt.Sprintf("shuffle %d: got %d blocks, want %d", shuffleID, len(blocks), st.numReduce))
+	if len(out.Payloads) != st.numReduce {
+		panic(fmt.Sprintf("shuffle %d: got %d payloads, want %d", shuffleID, len(out.Payloads), st.numReduce))
+	}
+	if out.Cols != nil {
+		if out.Cols.NumBuckets() != st.numReduce {
+			panic(fmt.Sprintf("shuffle %d: arena has %d buckets, want %d", shuffleID, out.Cols.NumBuckets(), st.numReduce))
+		}
+	} else if len(out.Boxed) != st.numReduce {
+		panic(fmt.Sprintf("shuffle %d: got %d boxed buckets, want %d", shuffleID, len(out.Boxed), st.numReduce))
 	}
 	if st.outputs[mapTask] == nil {
 		st.completed++
 	}
-	st.outputs[mapTask] = &mapOutput{node: node, blocks: blocks}
+	st.outputs[mapTask] = &mapOutput{node: node, out: out}
 	st.gen++
 	return bytes
 }
@@ -145,29 +184,66 @@ func (m *Manager) Complete(shuffleID int) bool {
 
 // snapshotOutputs copies the output table header under the shuffle lock and
 // returns it with the generation it was taken at. The *mapOutput entries are
-// immutable once stored, so callers may read them without the lock.
-func (st *state) snapshotOutputs() ([]*mapOutput, uint64) {
+// immutable once stored, so callers may read them without the lock. Reading
+// a retired generation panics: its arenas have been released and any view
+// handed out would be a use-after-free of the zero-copy contract.
+func (st *state) snapshotOutputs(shuffleID int) ([]*mapOutput, uint64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.retired {
+		panic(fmt.Sprintf("shuffle %d: read after retirement", shuffleID))
+	}
 	outs := make([]*mapOutput, len(st.outputs))
 	copy(outs, st.outputs)
 	return outs, st.gen
 }
 
-// ReduceInput returns the blocks destined for a reduce partition, one per
-// map task in map-task order (deterministic merge order downstream).
-func (m *Manager) ReduceInput(shuffleID, reduce int) [][]rdd.Pair {
+// ReduceView is one reduce partition's input: a window over every map
+// task's stored output, in map-task order (deterministic merge order
+// downstream). BlockInto streams zero-copy views that alias the map
+// tasks' arenas: they are valid until the shuffle generation retires and
+// must be deep-copied before being retained anywhere heap-lived (the
+// genlife rule enforces this contract statically).
+type ReduceView struct {
+	outs   []*mapOutput
+	reduce int
+}
+
+// Len reports the number of input blocks (one per map task).
+func (v ReduceView) Len() int { return len(v.outs) }
+
+// BlockInto writes block i's zero-copy view into dst, fully overwriting
+// it — the exact get-callback shape rdd.MergeReduceColN consumes, so a
+// reduce merge reuses one stack scratch block across the whole input.
+func (v ReduceView) BlockInto(i int, dst *rdd.ColBlock) {
+	v.outs[i].blockInto(v.reduce, dst)
+}
+
+// Blocks materializes the view as a slice of per-map blocks. The merge
+// path streams through BlockInto instead; this shape serves callers that
+// need random access to materialized views (tests, mostly).
+func (v ReduceView) Blocks() []*rdd.ColBlock {
+	out := make([]*rdd.ColBlock, len(v.outs))
+	for i := range out {
+		out[i] = new(rdd.ColBlock)
+		v.BlockInto(i, out[i])
+	}
+	return out
+}
+
+// ReduceInput returns the reduce partition's input view over all map
+// outputs. Reading before every map task finished, or after the
+// generation retired, panics.
+func (m *Manager) ReduceInput(shuffleID, reduce int) ReduceView {
 	st := m.mustGet(shuffleID)
 	checkReduce(st, shuffleID, reduce)
-	outs, _ := st.snapshotOutputs()
-	out := make([][]rdd.Pair, len(outs))
+	outs, _ := st.snapshotOutputs(shuffleID)
 	for i, mo := range outs {
 		if mo == nil {
 			panic(fmt.Sprintf("shuffle %d: reduce read before map %d finished", shuffleID, i))
 		}
-		out[i] = mo.blocks[reduce].Pairs
 	}
-	return out
+	return ReduceView{outs: outs, reduce: reduce}
 }
 
 // ReduceBytes reports the bytes a reduce task on readerNode fetches,
@@ -190,47 +266,58 @@ func (m *Manager) ReduceBytes(shuffleID, reduce int, readerNode string) (local, 
 // queries don't rescan the O(maps) output table each time. Callers must not
 // mutate the returned slice.
 func (m *Manager) ReduceNodeBytes(shuffleID, reduce int) []NodeBytes {
+	return m.reduceProfile(shuffleID, reduce).nodes
+}
+
+// ReduceBytesByNode is ReduceNodeBytes as a map, for callers that prefer
+// keyed lookup over ordered iteration. It is served from the same
+// generation-invalidated cache entry — not rebuilt per call — so, like
+// ReduceNodeBytes, callers must not mutate the result.
+func (m *Manager) ReduceBytesByNode(shuffleID, reduce int) map[string]int64 {
+	return m.reduceProfile(shuffleID, reduce).byNode
+}
+
+// reduceProfile returns the cached locality profile of one reduce
+// partition (both the sorted slice and the keyed-map shape), recomputing
+// it when the generation moved. Computation happens outside the shuffle
+// lock on a snapshot; a concurrent map output simply leaves the cache
+// unfilled and the caller works from its own consistent snapshot.
+func (m *Manager) reduceProfile(shuffleID, reduce int) reduceNodeCache {
 	st := m.mustGet(shuffleID)
 	checkReduce(st, shuffleID, reduce)
 
 	st.mu.Lock()
+	if st.retired {
+		st.mu.Unlock()
+		panic(fmt.Sprintf("shuffle %d: read after retirement", shuffleID))
+	}
 	if c := st.nodeCache[reduce]; c.valid && c.gen == st.gen {
 		st.mu.Unlock()
-		return c.nodes
+		return c
 	}
 	st.mu.Unlock()
 
-	outs, gen := st.snapshotOutputs()
+	outs, gen := st.snapshotOutputs(shuffleID)
 	totals := map[string]int64{}
 	for _, mo := range outs {
 		if mo == nil {
 			continue
 		}
-		totals[mo.node] += m.blockBytes(mo.blocks[reduce])
+		totals[mo.node] += m.blockBytes(mo.out.Payloads[reduce])
 	}
 	nodes := make([]NodeBytes, 0, len(totals))
 	for n, b := range totals {
 		nodes = append(nodes, NodeBytes{Node: n, Bytes: b})
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Node < nodes[j].Node })
+	entry := reduceNodeCache{gen: gen, valid: true, nodes: nodes, byNode: totals}
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if gen == st.gen {
-		st.nodeCache[reduce] = reduceNodeCache{gen: gen, valid: true, nodes: nodes}
+		st.nodeCache[reduce] = entry
 	}
-	return nodes
-}
-
-// ReduceBytesByNode is ReduceNodeBytes as a map, for callers that prefer
-// keyed lookup over ordered iteration.
-func (m *Manager) ReduceBytesByNode(shuffleID, reduce int) map[string]int64 {
-	nodes := m.ReduceNodeBytes(shuffleID, reduce)
-	out := make(map[string]int64, len(nodes))
-	for _, nb := range nodes {
-		out[nb.Node] = nb.Bytes
-	}
-	return out
+	return entry
 }
 
 // BestReduceNode returns the node holding the most input for a reduce
@@ -264,17 +351,60 @@ func (m *Manager) BestReduceNode(shuffleIDs []int, reduce int) (string, bool) {
 // (payload + overhead over all blocks).
 func (m *Manager) TotalWriteBytes(shuffleID int) int64 {
 	st := m.mustGet(shuffleID)
-	outs, _ := st.snapshotOutputs()
+	outs, _ := st.snapshotOutputs(shuffleID)
 	var sum int64
 	for _, mo := range outs {
 		if mo == nil {
 			continue
 		}
-		for _, b := range mo.blocks {
-			sum += m.blockBytes(b)
+		for _, p := range mo.out.Payloads {
+			sum += m.blockBytes(p)
 		}
 	}
 	return sum
+}
+
+// RetireExcept releases every tracked shuffle whose id is not in live:
+// output tables and locality caches — and with them every map task's
+// columnar arena — drop in one step, so a whole generation's shuffle
+// memory frees at once instead of trickling through the GC pair by pair.
+// Retired ids keep a stub state so a late read panics with a clear
+// lifecycle message instead of corrupting silently; Register over a
+// retired id resets it fresh (a retuned stage re-runs its map side).
+//
+// The scheduler calls this at job submission with every shuffle id still
+// reachable from the job's lineage — including pre-cache-frontier ids a
+// mid-job cache loss may need to re-read — so fault recovery never meets
+// a retired shuffle. Returns the number of shuffles retired.
+func (m *Manager) RetireExcept(live []int) int {
+	keep := make(map[int]bool, len(live))
+	for _, id := range live {
+		keep[id] = true
+	}
+	m.mu.RLock()
+	ids := make([]int, 0, len(m.shuffles))
+	for id := range m.shuffles {
+		if !keep[id] {
+			ids = append(ids, id)
+		}
+	}
+	m.mu.RUnlock()
+	sort.Ints(ids)
+	retired := 0
+	for _, id := range ids {
+		st := m.mustGet(id)
+		st.mu.Lock()
+		if !st.retired {
+			st.outputs = nil
+			st.nodeCache = nil
+			st.completed = 0
+			st.gen++
+			st.retired = true
+			retired++
+		}
+		st.mu.Unlock()
+	}
+	return retired
 }
 
 // NumReduce reports the reduce-side partition count of a shuffle.

@@ -7,14 +7,10 @@ import (
 	"chopper/internal/rdd"
 )
 
-func blocksFor(numReduce int, payload ...int64) []Block {
-	out := make([]Block, numReduce)
-	for i := range out {
-		if i < len(payload) {
-			out[i] = Block{PayloadBytes: payload[i]}
-		}
-	}
-	return out
+func blocksFor(numReduce int, payload ...int64) MapOutput {
+	payloads := make([]int64, numReduce)
+	copy(payloads, payload)
+	return MapOutput{Boxed: make([][]rdd.Pair, numReduce), Payloads: payloads}
 }
 
 func TestRegisterAndWriteAccounting(t *testing.T) {
@@ -40,13 +36,13 @@ func TestRegisterAndWriteAccounting(t *testing.T) {
 func TestReduceInputOrderedByMapTask(t *testing.T) {
 	m := NewManager(0, 0)
 	m.Register(7, 2, 1)
-	b0 := []Block{{Pairs: []rdd.Pair{{K: 1, V: "m0"}}}}
-	b1 := []Block{{Pairs: []rdd.Pair{{K: 1, V: "m1"}}}}
+	b0 := MapOutput{Boxed: [][]rdd.Pair{{{K: 1, V: "m0"}}}, Payloads: []int64{0}}
+	b1 := MapOutput{Boxed: [][]rdd.Pair{{{K: 1, V: "m1"}}}, Payloads: []int64{0}}
 	// Insert out of order; read must be map-task ordered.
 	m.PutMapOutput(7, 1, "B", b1)
 	m.PutMapOutput(7, 0, "A", b0)
-	in := m.ReduceInput(7, 0)
-	if len(in) != 2 || in[0][0].V != "m0" || in[1][0].V != "m1" {
+	in := m.ReduceInput(7, 0).Blocks()
+	if len(in) != 2 || in[0].Pairs[0].V != "m0" || in[1].Pairs[0].V != "m1" {
 		t.Fatalf("reduce input out of order: %v", in)
 	}
 }
@@ -113,9 +109,9 @@ func TestOverheadGrowsWithReduceCount(t *testing.T) {
 		m.Register(1, 4, numReduce)
 		var total int64
 		for mt := 0; mt < 4; mt++ {
-			blocks := make([]Block, numReduce)
-			for i := range blocks {
-				blocks[i].PayloadBytes = payload / int64(numReduce)
+			blocks := blocksFor(numReduce)
+			for i := range blocks.Payloads {
+				blocks.Payloads[i] = payload / int64(numReduce)
 			}
 			total += m.PutMapOutput(1, mt, "A", blocks)
 		}
@@ -172,10 +168,10 @@ func TestQuickBytesConserved(t *testing.T) {
 		nodes := []string{"A", "B", "C"}
 		idx := 0
 		for mt := 0; mt < nMaps; mt++ {
-			blocks := make([]Block, numReduce)
+			blocks := blocksFor(numReduce)
 			for r := 0; r < numReduce; r++ {
 				if idx < len(payloads) {
-					blocks[r].PayloadBytes = int64(payloads[idx])
+					blocks.Payloads[r] = int64(payloads[idx])
 					idx++
 				}
 			}
