@@ -13,6 +13,13 @@
 //	GET  /healthz                         -> Health
 //	GET  /metrics                         -> Prometheus text format
 //	GET  /debug/pprof/*                   -> runtime profiles
+//
+// Primaries in a fleet (internal/fleet) additionally serve the journal-
+// shipping protocol:
+//
+//	GET  /v1/repl/status                  -> ReplStatus
+//	GET  /v1/repl/segment?epoch=&from=&max= -> raw journal bytes (octet-stream)
+//	GET  /v1/repl/bootstrap               -> ReplBootstrap
 package api
 
 // Error is the JSON error body every non-2xx /v1 response carries.
@@ -130,7 +137,7 @@ type WorkloadsResponse struct {
 
 // Health is the /healthz body.
 type Health struct {
-	Status        string  `json:"status"` // "ok" or "draining"
+	Status        string  `json:"status"` // "ok", "syncing", or "draining"
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	Workers       int     `json:"workers"`
 	QueueDepth    int     `json:"queueDepth"`
@@ -138,8 +145,64 @@ type Health struct {
 	// QueueDepth it tells a client whether submitted work has been admitted.
 	ActiveJobs int `json:"activeJobs"`
 	QueueCap   int `json:"queueCap"`
-	Draining      bool    `json:"draining"`
+	Draining   bool `json:"draining"`
 	// Store describes the durable profile store; empty when in-memory.
 	StorePath      string `json:"storePath,omitempty"`
 	JournalRecords int    `json:"journalRecords"`
+	// Fleet fields (internal/fleet): Role is "" for a standalone daemon,
+	// "primary" or "replica" for a fleet member; ShardID/ShardCount locate
+	// the daemon in the hash ring. A replica additionally reports its
+	// replication stream state — Status is "syncing" until the first
+	// catch-up to zero lag.
+	Role       string `json:"role,omitempty"`
+	ShardID    int    `json:"shardId,omitempty"`
+	ShardCount int    `json:"shardCount,omitempty"`
+	// ReplicationEpoch/Pos/LagBytes describe the journal stream a replica
+	// copies; Synced reports whether it has ever fully caught up.
+	ReplicationEpoch    int64  `json:"replicationEpoch,omitempty"`
+	ReplicationPos      int64  `json:"replicationPos,omitempty"`
+	ReplicationLagBytes int64  `json:"replicationLagBytes,omitempty"`
+	ReplicationSynced   bool   `json:"replicationSynced,omitempty"`
+	ReplicationError    string `json:"replicationError,omitempty"`
+}
+
+// ReplStatus is the GET /v1/repl/status body a primary serves: the identity
+// and length of its journal stream. Segment byte offsets are only meaningful
+// between a primary and replica agreeing on Epoch.
+type ReplStatus struct {
+	Epoch       int64 `json:"epoch"`
+	JournalSize int64 `json:"journalSize"`
+}
+
+// ReplBootstrap is the GET /v1/repl/bootstrap body: a consistent full image
+// of a primary's durable state (snapshot + journal bytes, base64 on the
+// wire) and the epoch it belongs to. A replica installs it atomically and
+// resumes segment pulls at offset len(Journal).
+type ReplBootstrap struct {
+	Epoch    int64  `json:"epoch"`
+	Snapshot []byte `json:"snapshot,omitempty"`
+	Journal  []byte `json:"journal,omitempty"`
+}
+
+// BackendHealth is one fleet backend as the router sees it.
+type BackendHealth struct {
+	URL  string `json:"url"`
+	Role string `json:"role"` // "primary" or "replica"
+	// Live is transport-level reachability; Ready additionally means the
+	// backend is serving reads (a replica is ready once synced).
+	Live  bool `json:"live"`
+	Ready bool `json:"ready"`
+}
+
+// RouterShardHealth summarizes one shard's backends.
+type RouterShardHealth struct {
+	Shard    int             `json:"shard"`
+	Backends []BackendHealth `json:"backends"`
+}
+
+// RouterHealth is the fleet router's /healthz body. Status is "ok" while
+// every shard has a live primary, "degraded" otherwise.
+type RouterHealth struct {
+	Status string              `json:"status"`
+	Shards []RouterShardHealth `json:"shards"`
 }

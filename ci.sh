@@ -133,16 +133,19 @@ go test -race -run 'TestParallelMatchesSequential' -count=1 ./internal/experimen
 
 gate "chopperbench (regression gate)"
 # Benchmark-regression harness: re-measures the columnar shuffle/combine
-# kernels, the quick sweep, and the chopperd serving stack under closed-loop
-# load, then gates allocs/op (exact, machine-independent), the >=50%
+# kernels, the quick sweep, the chopperd serving stack under closed-loop
+# load, and the fleet saturation table (1/2/4 in-process shards behind the
+# router), then gates allocs/op (exact, machine-independent), the >=50%
 # bytes/op arena floor vs the compiled-in boxed pre-arena numbers, the
-# parallel-sweep speedup (floor scaled to GOMAXPROCS), and zero dropped
-# service requests against the committed baseline. The heap profile of the
-# gate run is kept as an artifact (chopperbench-heap.pprof) so allocation
-# regressions can be diffed with `go tool pprof` without re-running.
+# parallel-sweep speedup (floor scaled to GOMAXPROCS), zero dropped service
+# requests, and zero dropped fleet requests plus the 4-vs-1 shard scaling
+# floor (also GOMAXPROCS-scaled) against the committed baseline. The heap
+# profile of the gate run is kept as an artifact (chopperbench-heap.pprof)
+# so allocation regressions can be diffed with `go tool pprof` without
+# re-running.
 # Re-baseline with:
-#   go run ./cmd/chopperbench -out BENCH_9.json
-go run ./cmd/chopperbench -short -compare BENCH_9.json -tolerance 10% -memprofile chopperbench-heap.pprof
+#   go run ./cmd/chopperbench -out BENCH_10.json
+go run ./cmd/chopperbench -short -compare BENCH_10.json -tolerance 10% -memprofile chopperbench-heap.pprof
 
 gate "chopperbench (deliberate break)"
 # Prove the arena bytes/op floor actually bites: re-introducing a per-pair
@@ -158,6 +161,15 @@ gate "chopperd smoke"
 # job in flight and verify the clean drain + snapshot restart.
 go build -o /tmp/chopperd.ci ./cmd/chopperd
 go run ./cmd/chopperload -smoke -chopperd /tmp/chopperd.ci
+
+gate "chopperfleet smoke"
+# Fleet deployment gate: spawn a real 2-shard fleet (two primaries plus a
+# replica of shard 0) behind an in-process router, verify hashed write
+# placement and the merged workload view, SIGKILL the replica mid-load with
+# zero client-visible errors, advance the primary's journal while the
+# replica is down, then restart it and verify it catches up from its last
+# durable position to a byte-identical recommendation.
+go run ./cmd/chopperload -fleet-smoke -chopperd /tmp/chopperd.ci
 
 gate "fuzz (5s)"
 go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/exec

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -36,10 +37,15 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("chopperd: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
 }
 
-// Client talks to one chopperd instance.
+// Client talks to one chopperd instance — or, in a fleet deployment, to a
+// router with standby targets behind it.
 type Client struct {
 	// Base is the daemon's root URL, e.g. "http://127.0.0.1:7077".
 	Base string
+	// Fallbacks are tried in order when Base fails at the transport level
+	// (connection refused, reset, timeout). API-level errors are never
+	// failed over — they are the daemon's answer, not an outage.
+	Fallbacks []string
 	// HTTP is the underlying client (http.DefaultClient when nil).
 	HTTP *http.Client
 }
@@ -58,25 +64,48 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // do performs one request: body (when non-nil) is sent as JSON, and the
-// raw response bytes are returned after status checking.
+// raw response bytes are returned after status checking. Transport-level
+// failures fail over through Fallbacks; the request body is re-marshaled
+// bytes, so every attempt sends the identical payload.
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, body any) ([]byte, error) {
-	u := c.Base + path
-	if len(query) > 0 {
-		u += "?" + query.Encode()
-	}
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return nil, fmt.Errorf("client: marshal request: %w", err)
 		}
-		rd = bytes.NewReader(b)
+		payload = b
+	}
+	var lastErr error
+	for _, base := range append([]string{c.Base}, c.Fallbacks...) {
+		raw, err := c.doOnce(ctx, base, method, path, query, payload)
+		if err == nil {
+			return raw, nil
+		}
+		lastErr = err
+		var apiErr *APIError
+		if errors.As(err, &apiErr) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// doOnce performs one request against one target.
+func (c *Client) doOnce(ctx context.Context, base, method, path string, query url.Values, payload []byte) ([]byte, error) {
+	u := base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
 		return nil, fmt.Errorf("client: build request: %w", err)
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)

@@ -42,7 +42,7 @@ func TestPlantedPerPairCopyTripsBytesFloor(t *testing.T) {
 
 	gate := func(bytesPerOp int64) []string {
 		rep := Report{
-			Schema:     3,
+			Schema:     4,
 			GoMaxProcs: 1, // sidestep the unrelated sweep-speedup gate
 			Kernels: []KernelResult{{
 				Name:       "MergeReduceBlocksIntCombine",

@@ -1,0 +1,216 @@
+package main
+
+// The fleet saturation benchmark (Awan-style resource rows): an in-process
+// fleet of 1, 2, and 4 shard primaries behind the fleet router, driven by
+// the closed-loop load generator across all four builtin workloads, with
+// throughput, latency, peak RSS, and GC pause time recorded per fleet size.
+// Gated on zero dropped requests at every size; the 4-vs-1 shard scaling
+// floor applies only where GOMAXPROCS leaves room for shard parallelism.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"chopper/api"
+	"chopper/client"
+	"chopper/internal/fleet"
+	"chopper/internal/loadgen"
+	"chopper/internal/service"
+)
+
+// FleetBench is one fleet-size row of the saturation table.
+type FleetBench struct {
+	Shards        int     `json:"shards"`
+	Requests      int     `json:"requests"`
+	Concurrency   int     `json:"concurrency"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	Dropped       int     `json:"dropped"`
+	// PeakRSSBytes is the process peak after the row (monotonic across
+	// rows — the deltas, not the absolutes, carry the per-size signal).
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+	// GCPauseMs and NumGC are the garbage-collector cost during the row.
+	GCPauseMs float64 `json:"gc_pause_ms"`
+	NumGC     uint32  `json:"num_gc"`
+}
+
+// fleetWorkloads spreads load across every builtin so each shard of a
+// 4-shard fleet owns traffic (the ring places all four on distinct shards
+// at n=4; see internal/fleet).
+var fleetWorkloads = []string{"kmeans", "pca", "sql", "pagerank"}
+
+// measureFleet runs the saturation row at 1, 2, and 4 shards.
+func measureFleet(short bool) ([]FleetBench, error) {
+	var rows []FleetBench
+	for _, n := range []int{1, 2, 4} {
+		row, err := measureFleetRow(n, short)
+		if err != nil {
+			return nil, fmt.Errorf("fleet bench at %d shard(s): %w", n, err)
+		}
+		fmt.Printf("  %d shard(s): %7.1f req/s, p50 %.1fms p99 %.1fms, %d dropped, GC %.1fms/%d cycles\n",
+			row.Shards, row.ThroughputRPS, row.P50Ms, row.P99Ms, row.Dropped, row.GCPauseMs, row.NumGC)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// measureFleetRow boots shards in-memory primaries (Workers 2 each, so the
+// worker-pool budget grows with the fleet the way a real deployment's
+// would), fronts them with the router, trains every builtin through it, and
+// measures a recommend-only closed loop across all workloads.
+func measureFleetRow(shards int, short bool) (FleetBench, error) {
+	requests, concurrency := 1024, 32
+	if short {
+		requests, concurrency = 256, 16
+	}
+	fb := FleetBench{Shards: shards, Requests: requests, Concurrency: concurrency}
+
+	var topo fleet.Topology
+	servers := make([]*service.Server, shards)
+	serveDone := make([]chan error, shards)
+	for i := 0; i < shards; i++ {
+		srv, err := service.New(service.Config{Role: "primary", ShardID: i, ShardCount: shards, Workers: 2})
+		if err != nil {
+			return fb, err
+		}
+		ln, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return fb, err
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		servers[i], serveDone[i] = srv, done
+		topo.Shards = append(topo.Shards, fleet.Shard{Primary: "http://" + ln.Addr().String()})
+	}
+	router, err := fleet.NewRouter(fleet.RouterConfig{Topology: topo, ProbeInterval: 100 * time.Millisecond})
+	if err != nil {
+		return fb, err
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fb, err
+	}
+	stop := make(chan struct{})
+	routerDone := make(chan struct{})
+	go func() {
+		defer close(routerDone)
+		router.Run(stop)
+	}()
+	httpSrv := &http.Server{Handler: router.Handler()}
+	go func() { _ = httpSrv.Serve(rln) }() // ends via Close below
+	base := "http://" + rln.Addr().String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	cl := client.New(base)
+	noRange := false
+	for _, w := range fleetWorkloads {
+		if _, err := cl.Train(ctx, api.TrainRequest{
+			Workload:      w,
+			Shrink:        24,
+			SizeFractions: []float64{1.0},
+			Partitions:    []int{150},
+			Range:         &noRange,
+		}); err != nil {
+			return fb, fmt.Errorf("train %s: %w", w, err)
+		}
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Targets:        []string{base},
+		Workloads:      fleetWorkloads,
+		ShardCount:     shards,
+		Concurrency:    concurrency,
+		Requests:       requests,
+		SubmitFraction: 0, // recommend-only: the saturation row measures read fan-out
+	})
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return fb, fmt.Errorf("fleet load: %w", err)
+	}
+	fb.ThroughputRPS = res.Throughput()
+	fb.P50Ms = res.Hist.Quantile(0.50) * 1e3
+	fb.P99Ms = res.Hist.Quantile(0.99) * 1e3
+	fb.Dropped = res.Dropped
+	fb.GCPauseMs = float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e6
+	fb.NumGC = m1.NumGC - m0.NumGC
+	fb.PeakRSSBytes = peakRSSBytes()
+
+	_ = httpSrv.Close()
+	close(stop)
+	<-routerDone
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	for i, srv := range servers {
+		if err := srv.Shutdown(sctx); err != nil {
+			return fb, fmt.Errorf("shard %d shutdown: %w", i, err)
+		}
+		if err := <-serveDone[i]; err != nil {
+			return fb, fmt.Errorf("shard %d serve: %w", i, err)
+		}
+	}
+	return fb, nil
+}
+
+// fleetScalingFloor returns the required 4-shard-vs-1-shard throughput
+// ratio for a machine with procs schedulable CPUs, and whether the gate
+// applies: shards in this harness are in-process, so with too few CPUs the
+// fleet cannot buy throughput and the gate would only measure scheduler
+// noise.
+func fleetScalingFloor(procs int) (float64, bool) {
+	switch {
+	case procs >= 8:
+		return 3.0, true
+	case procs >= 4:
+		return 1.8, true
+	default:
+		return 0, false
+	}
+}
+
+// compareFleet gates the saturation rows: dropped requests fail always; the
+// 4-vs-1 scaling floor applies per fleetScalingFloor; throughput vs the
+// baseline gates only under -strict-time.
+func compareFleet(cur, base []FleetBench, tol float64, strictTime bool, procs int) []string {
+	var violations []string
+	byShards := map[int]FleetBench{}
+	for _, row := range cur {
+		byShards[row.Shards] = row
+		if row.Requests > 0 && row.Dropped > 0 {
+			violations = append(violations, fmt.Sprintf(
+				"fleet: %d of %d requests dropped at %d shard(s) (want 0)",
+				row.Dropped, row.Requests, row.Shards))
+		}
+	}
+	if floor, gated := fleetScalingFloor(procs); gated {
+		one, four := byShards[1], byShards[4]
+		if one.ThroughputRPS > 0 && four.ThroughputRPS < floor*one.ThroughputRPS {
+			violations = append(violations, fmt.Sprintf(
+				"fleet: 4-shard throughput %.1f req/s below %.1fx the 1-shard %.1f req/s (GOMAXPROCS=%d floor)",
+				four.ThroughputRPS, floor, one.ThroughputRPS, procs))
+		}
+	} else if len(cur) > 0 {
+		fmt.Printf("  fleet scaling gate skipped: GOMAXPROCS=%d leaves no room for shard parallelism\n", procs)
+	}
+	if strictTime {
+		for _, b := range base {
+			c, ok := byShards[b.Shards]
+			if !ok || b.ThroughputRPS <= 0 {
+				continue
+			}
+			if c.ThroughputRPS < b.ThroughputRPS*(1-tol) {
+				violations = append(violations, fmt.Sprintf(
+					"fleet: %d-shard throughput %.1f req/s below baseline %.1f by more than %.0f%% (-strict-time)",
+					b.Shards, c.ThroughputRPS, b.ThroughputRPS, tol*100))
+			}
+		}
+	}
+	return violations
+}

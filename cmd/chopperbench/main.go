@@ -1,14 +1,15 @@
 // Command chopperbench is the benchmark-regression harness: it measures the
 // hot-path kernels (shuffle partitioning, reduce-side merge, byte sizing —
 // the columnar arena paths the engine actually runs), the end-to-end
-// experiment sweep at two driver widths, and the chopperd serving stack
-// under closed-loop load, then optionally gates the numbers against a
-// committed baseline (BENCH_9.json).
+// experiment sweep at two driver widths, the chopperd serving stack under
+// closed-loop load, and the fleet saturation table (1/2/4 in-process shards
+// behind the fleet router, with throughput/RSS/GC per size), then
+// optionally gates the numbers against a committed baseline (BENCH_10.json).
 //
 // Usage:
 //
 //	chopperbench [-runs N] [-short] [-parallel N] [-out file]
-//	             [-compare BENCH_9.json] [-tolerance 10%] [-strict-time]
+//	             [-compare BENCH_10.json] [-tolerance 10%] [-strict-time]
 //	             [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Without -compare it measures and (with -out) writes a fresh baseline.
@@ -32,7 +33,11 @@
 //     parallelism cannot buy wall time there; the kernel gates still apply);
 //   - the chopperd service bench dropped any request under concurrent load
 //     (throughput and latency are machine-dependent and recorded for the
-//     baseline; throughput gates only under -strict-time).
+//     baseline; throughput gates only under -strict-time);
+//   - a fleet saturation row dropped any request, or the 4-shard fleet's
+//     throughput falls below the 1-shard multiple for this machine's
+//     GOMAXPROCS: >= 3.0x with 8+ procs, >= 1.8x with 4-7, not gated below
+//     (in-process shards cannot buy throughput without spare CPUs).
 package main
 
 import (
@@ -70,10 +75,11 @@ type EndToEnd struct {
 	Speedup       float64 `json:"speedup"`
 }
 
-// Report is the chopperbench output schema (BENCH_9.json). Schema 2 added
+// Report is the chopperbench output schema (BENCH_10.json). Schema 2 added
 // the chopperd service row; schema 3 switched the kernel rows to the
 // columnar arena paths and added the prev_kernels column (the boxed
-// pre-arena numbers backing the bytes/op floor).
+// pre-arena numbers backing the bytes/op floor); schema 4 added the fleet
+// saturation rows (1/2/4 in-process shards behind the router).
 type Report struct {
 	Schema      int            `json:"schema"`
 	GoMaxProcs  int            `json:"go_maxprocs"`
@@ -83,6 +89,7 @@ type Report struct {
 	PrevKernels []KernelResult `json:"prev_kernels"`
 	EndToEnd    EndToEnd       `json:"end_to_end"`
 	Service     ServiceBench   `json:"service"`
+	Fleet       []FleetBench   `json:"fleet"`
 	PeakRSS     int64          `json:"peak_rss_bytes"`
 }
 
@@ -439,6 +446,7 @@ func compareReports(cur, base Report, tol float64, strictTime bool) []string {
 		fmt.Printf("  speedup gate skipped: GOMAXPROCS=%d leaves no room for run-level parallelism\n", cur.GoMaxProcs)
 	}
 	violations = append(violations, compareService(cur.Service, base.Service, tol, strictTime)...)
+	violations = append(violations, compareFleet(cur.Fleet, base.Fleet, tol, strictTime, cur.GoMaxProcs)...)
 	return violations
 }
 
@@ -480,7 +488,7 @@ func run() error {
 
 	fmt.Println("chopperbench: kernels")
 	rep := Report{
-		Schema:      3,
+		Schema:      4,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Short:       *short,
 		Kernels:     measureKernels(*runs),
@@ -493,6 +501,10 @@ func run() error {
 	}
 	fmt.Println("chopperbench: chopperd service")
 	if rep.Service, err = measureService(*short); err != nil {
+		return err
+	}
+	fmt.Println("chopperbench: fleet saturation (1/2/4 shards)")
+	if rep.Fleet, err = measureFleet(*short); err != nil {
 		return err
 	}
 	rep.PeakRSS = peakRSSBytes()

@@ -3,7 +3,7 @@ package main
 // The chopperd service benchmark: an in-process daemon (in-memory store, so
 // the numbers measure the serving stack, not fsync) driven by the
 // closed-loop load generator. Recorded in the committed baseline
-// (BENCH_9.json) and gated on zero dropped requests; latency/throughput are
+// (BENCH_10.json) and gated on zero dropped requests; latency/throughput are
 // machine-dependent and gate only under -strict-time.
 
 import (

@@ -9,9 +9,17 @@
 //	chopperd [-addr 127.0.0.1:7077] [-store chopperd.db] [-workers N]
 //	         [-queue 128] [-shrink 12] [-job-timeout 5m] [-drain-timeout 30s]
 //	         [-no-sync]
+//	         [-role primary|replica] [-shard-id N] [-shard-count N]
+//	         [-primary URL] [-repl-poll 200ms]
+//
+// Fleet roles (DESIGN.md §10): -role primary marks the daemon as one
+// shard's write owner (it serves /v1/repl/* to its replicas); -role
+// replica makes it a read-only follower of -primary, converging on that
+// daemon's journal stream. cmd/chopperfleet runs the routing front.
 //
 // On SIGINT/SIGTERM the daemon drains: admission stops, in-flight jobs
-// finish, a final snapshot is written, and the process exits 0.
+// finish, a final snapshot is written (primaries; replicas keep their
+// journal as the shipped stream prefix), and the process exits 0.
 package main
 
 import (
@@ -35,24 +43,35 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-request deadline (0: 5m)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline")
 	noSync := flag.Bool("no-sync", false, "skip fsync per journal append (faster, weaker durability)")
+	role := flag.String("role", "", "fleet role: empty (standalone), primary, or replica")
+	shardID := flag.Int("shard-id", 0, "this daemon's shard index in the fleet hash ring")
+	shardCount := flag.Int("shard-count", 0, "total shards in the fleet hash ring")
+	primary := flag.String("primary", "", "shard primary URL a replica pulls its journal from")
+	replPoll := flag.Duration("repl-poll", 0, "replica idle poll interval (0: 200ms)")
 	flag.Parse()
 
-	if err := run(*addr, *store, *workers, *queue, *shrink, *jobTimeout, *drainTimeout, *noSync); err != nil {
+	cfg := service.Config{
+		StorePath:  *store,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Shrink:     *shrink,
+		JobTimeout: *jobTimeout,
+		Role:       *role,
+		ShardID:    *shardID,
+		ShardCount: *shardCount,
+		PrimaryURL: *primary,
+		ReplPoll:   *replPoll,
+	}
+	syncAppends := !*noSync
+	cfg.SyncAppends = &syncAppends
+	if err := run(*addr, cfg, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "chopperd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, store string, workers, queue, shrink int, jobTimeout, drainTimeout time.Duration, noSync bool) error {
-	syncAppends := !noSync
-	srv, err := service.New(service.Config{
-		StorePath:   store,
-		Workers:     workers,
-		QueueDepth:  queue,
-		Shrink:      shrink,
-		JobTimeout:  jobTimeout,
-		SyncAppends: &syncAppends,
-	})
+func run(addr string, cfg service.Config, drainTimeout time.Duration) error {
+	srv, err := service.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -63,8 +82,11 @@ func run(addr, store string, workers, queue, shrink int, jobTimeout, drainTimeou
 	// The announce line is machine-parsed (chopperload -smoke); keep the
 	// prefix stable.
 	fmt.Printf("chopperd: listening on http://%s\n", ln.Addr())
-	if store != "" {
-		fmt.Printf("chopperd: profile store at %s\n", store)
+	if cfg.StorePath != "" {
+		fmt.Printf("chopperd: profile store at %s\n", cfg.StorePath)
+	}
+	if cfg.Role != "" {
+		fmt.Printf("chopperd: role %s, shard %d/%d\n", cfg.Role, cfg.ShardID, cfg.ShardCount)
 	}
 
 	sigc := make(chan os.Signal, 1)
@@ -82,6 +104,6 @@ func run(addr, store string, workers, queue, shrink int, jobTimeout, drainTimeou
 	if err := srv.Serve(ln); err != nil {
 		return err
 	}
-	fmt.Println("chopperd: drained, snapshot written, bye")
+	fmt.Println("chopperd: drained, bye")
 	return nil
 }

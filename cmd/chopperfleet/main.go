@@ -1,0 +1,180 @@
+// Command chopperfleet is the fleet front for a sharded, replicated
+// chopperd deployment (internal/fleet, DESIGN.md §10): an HTTP router that
+// fans writes to each workload's owning shard primary and reads to any
+// caught-up replica, with per-backend health probing, a merged
+// /v1/workloads view, aggregated /metrics, and a fleet /healthz.
+//
+// Router mode fronts an existing fleet described by a JSON topology file
+// ({"shards":[{"primary":"http://...","replicas":["http://..."]}]}):
+//
+//	chopperfleet -addr 127.0.0.1:7070 -topology fleet.json
+//
+// Spawn mode additionally boots the fleet itself from a chopperd binary —
+// one primary per shard plus the requested replicas per shard, each with
+// its own store under -store-dir — then fronts it, and drains every daemon
+// on SIGINT/SIGTERM:
+//
+//	chopperfleet -addr 127.0.0.1:7070 -chopperd ./chopperd -shards 2 -replicas 1 -store-dir ./fleet
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+
+	"chopper/internal/fleet"
+	"chopper/internal/fleetproc"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "router listen address (use :0 for an ephemeral port)")
+	topoPath := flag.String("topology", "", "JSON topology file of an existing fleet (router mode)")
+	binary := flag.String("chopperd", "", "chopperd binary to spawn the fleet from (spawn mode)")
+	shards := flag.Int("shards", 2, "shard count to spawn (spawn mode)")
+	replicas := flag.Int("replicas", 1, "replicas per shard to spawn (spawn mode)")
+	storeDir := flag.String("store-dir", "", "directory for spawned daemon stores (spawn mode; default: a temp dir)")
+	probe := flag.Duration("probe", 250*time.Millisecond, "backend health-probe interval")
+	flag.Parse()
+
+	if err := run(*addr, *topoPath, *binary, *shards, *replicas, *storeDir, *probe); err != nil {
+		fmt.Fprintf(os.Stderr, "chopperfleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, topoPath, binary string, shards, replicas int, storeDir string, probe time.Duration) error {
+	if (topoPath == "") == (binary == "") {
+		return fmt.Errorf("pass exactly one of -topology (router mode) or -chopperd (spawn mode)")
+	}
+	ctx := context.Background()
+
+	var topo fleet.Topology
+	var daemons []*fleetproc.Daemon
+	if topoPath != "" {
+		data, err := os.ReadFile(topoPath)
+		if err != nil {
+			return err
+		}
+		topo, err = fleet.ParseTopology(data)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		topo, daemons, err = spawnFleet(ctx, binary, shards, replicas, storeDir)
+		if err != nil {
+			drainAll(daemons)
+			return err
+		}
+	}
+
+	router, err := fleet.NewRouter(fleet.RouterConfig{Topology: topo, ProbeInterval: probe})
+	if err != nil {
+		drainAll(daemons)
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		drainAll(daemons)
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	for i, sh := range topo.Shards {
+		fmt.Printf("chopperfleet: shard %d: primary %s, %d replica(s)\n", i, sh.Primary, len(sh.Replicas))
+	}
+	fmt.Printf("chopperfleet: listening on http://%s\n", ln.Addr())
+
+	stop := make(chan struct{})
+	routerDone := make(chan struct{})
+	go func() {
+		defer close(routerDone)
+		router.Run(stop)
+	}()
+	srv := &http.Server{Handler: router.Handler()}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Printf("chopperfleet: %v received, shutting down\n", sig)
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+
+	err = srv.Serve(ln)
+	if err == http.ErrServerClosed {
+		err = nil
+	}
+	close(stop)
+	<-routerDone
+	drainAll(daemons)
+	if err == nil {
+		fmt.Println("chopperfleet: bye")
+	}
+	return err
+}
+
+// spawnFleet boots one primary per shard plus replicas, each on an
+// ephemeral port with its own store, and returns the resulting topology.
+// Replicas are started after their primary so they can be pointed at it.
+func spawnFleet(ctx context.Context, binary string, shards, replicas int, storeDir string) (fleet.Topology, []*fleetproc.Daemon, error) {
+	if shards <= 0 {
+		return fleet.Topology{}, nil, fmt.Errorf("-shards must be positive, got %d", shards)
+	}
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "chopperfleet-")
+		if err != nil {
+			return fleet.Topology{}, nil, err
+		}
+		storeDir = dir
+	} else if err := os.MkdirAll(storeDir, 0o755); err != nil {
+		return fleet.Topology{}, nil, err
+	}
+	var topo fleet.Topology
+	var daemons []*fleetproc.Daemon
+	for i := 0; i < shards; i++ {
+		p, err := fleetproc.Start(ctx, binary,
+			"-addr", "127.0.0.1:0",
+			"-store", filepath.Join(storeDir, fmt.Sprintf("shard%d.db", i)),
+			"-role", "primary", "-shard-id", strconv.Itoa(i), "-shard-count", strconv.Itoa(shards))
+		if err != nil {
+			return topo, daemons, fmt.Errorf("spawn shard %d primary: %w", i, err)
+		}
+		daemons = append(daemons, p)
+		sh := fleet.Shard{Primary: p.Addr}
+		for j := 0; j < replicas; j++ {
+			r, err := fleetproc.Start(ctx, binary,
+				"-addr", "127.0.0.1:0",
+				"-store", filepath.Join(storeDir, fmt.Sprintf("shard%d-replica%d.db", i, j)),
+				"-role", "replica", "-shard-id", strconv.Itoa(i), "-shard-count", strconv.Itoa(shards),
+				"-primary", p.Addr)
+			if err != nil {
+				return topo, daemons, fmt.Errorf("spawn shard %d replica %d: %w", i, j, err)
+			}
+			daemons = append(daemons, r)
+			sh.Replicas = append(sh.Replicas, r.Addr)
+		}
+		topo.Shards = append(topo.Shards, sh)
+	}
+	return topo, daemons, nil
+}
+
+// drainAll SIGTERMs every spawned daemon, replicas and primaries alike,
+// reporting but not failing on individual drain errors.
+func drainAll(daemons []*fleetproc.Daemon) {
+	// Reverse order: replicas (started after their primary) drain first, so
+	// no replica is left pulling from a gone primary.
+	for i := len(daemons) - 1; i >= 0; i-- {
+		if err := daemons[i].Drain(); err != nil {
+			fmt.Fprintf(os.Stderr, "chopperfleet: drain %s: %v\n", daemons[i].Addr, err)
+		}
+	}
+}

@@ -6,12 +6,25 @@
 //
 //	chopperload -addr http://127.0.0.1:7077 -n 256 -c 16 -submit-frac 0.25
 //
+// A load can also spread across several targets and workloads with a
+// per-shard breakdown (fleet deployments; see internal/fleet):
+//
+//	chopperload -targets http://router:7070 -workloads kmeans,sql -shard-count 2
+//
 // Smoke mode spawns its own daemon from a chopperd binary and walks the
 // full lifecycle — train, concurrent mixed burst with zero drops, recommend,
 // SIGKILL + restart with byte-identical recommend (journal replay), clean
 // SIGTERM drain with an in-flight job, restart from the final snapshot:
 //
 //	chopperload -smoke -chopperd ./chopperd
+//
+// Fleet-smoke mode spawns a 2-shard fleet (two primaries plus a replica)
+// behind an in-process router and gates on the deployment contract: hashed
+// write placement, replica catch-up by journal shipping, zero client-visible
+// errors across a mid-load replica SIGKILL, and byte-identical
+// recommendations after the replica restarts and catches up:
+//
+//	chopperload -fleet-smoke -chopperd ./chopperd
 package main
 
 import (
@@ -19,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"chopper/api"
@@ -28,18 +42,23 @@ import (
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:7077", "chopperd base URL")
+	targets := flag.String("targets", "", "comma-separated target URLs (shard daemons or routers); overrides -addr")
 	n := flag.Int("n", 64, "total request budget")
 	c := flag.Int("c", 8, "closed-loop concurrency")
 	workload := flag.String("workload", "kmeans", "workload to exercise")
+	workloadList := flag.String("workloads", "", "comma-separated workloads to rotate through; overrides -workload")
+	shardCount := flag.Int("shard-count", 0, "fleet shard count for the per-shard breakdown (0: off)")
 	inputBytes := flag.Int64("bytes", 0, "logical input size override")
 	shrink := flag.Int("shrink", 0, "physical shrink factor for submits")
 	submitFrac := flag.Float64("submit-frac", 0.25, "fraction of submit (vs recommend) requests")
+	trainFrac := flag.Float64("train-frac", 0, "fraction of cheap incremental train requests")
 	tuned := flag.Bool("tuned", false, "submit jobs under the CHOPPER configuration")
 	noRecord := flag.Bool("no-record", false, "do not fold submits into the profile store")
 	train := flag.Bool("train", false, "run a small training pass before the load")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall run deadline")
 	smoke := flag.Bool("smoke", false, "run the end-to-end smoke harness instead of a plain load")
-	chopperd := flag.String("chopperd", "", "path to the chopperd binary (smoke mode)")
+	fleetSmoke := flag.Bool("fleet-smoke", false, "run the fleet smoke harness (2 shards + replica + router)")
+	chopperd := flag.String("chopperd", "", "path to the chopperd binary (smoke modes)")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -53,47 +72,84 @@ func main() {
 		fmt.Println("chopperload: smoke PASSED")
 		return
 	}
-	if err := runLoad(ctx, *addr, *n, *c, *workload, *inputBytes, *shrink, *submitFrac, *tuned, *noRecord, *train); err != nil {
+	if *fleetSmoke {
+		if err := runFleetSmoke(ctx, *chopperd); err != nil {
+			fmt.Fprintf(os.Stderr, "chopperload: fleet-smoke FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("chopperload: fleet-smoke PASSED")
+		return
+	}
+	cfg := loadgen.Config{
+		Base:           *addr,
+		Targets:        splitList(*targets),
+		Concurrency:    *c,
+		Requests:       *n,
+		Workload:       *workload,
+		Workloads:      splitList(*workloadList),
+		InputBytes:     *inputBytes,
+		Shrink:         *shrink,
+		SubmitFraction: *submitFrac,
+		TrainFraction:  *trainFrac,
+		ShardCount:     *shardCount,
+		Tuned:          *tuned,
+		NoRecord:       *noRecord,
+	}
+	if err := runLoad(ctx, cfg, *train); err != nil {
 		fmt.Fprintf(os.Stderr, "chopperload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func runLoad(ctx context.Context, addr string, n, c int, workload string, inputBytes int64, shrink int, submitFrac float64, tuned, noRecord, train bool) error {
-	cl := client.New(addr)
+// splitList parses a comma-separated flag value, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func runLoad(ctx context.Context, cfg loadgen.Config, train bool) error {
+	base := cfg.Base
+	if len(cfg.Targets) > 0 {
+		base = cfg.Targets[0]
+	}
+	cl := client.New(base)
 	if _, err := cl.Health(ctx); err != nil {
-		return fmt.Errorf("daemon not reachable at %s: %w", addr, err)
+		return fmt.Errorf("daemon not reachable at %s: %w", base, err)
 	}
 	if train {
-		fmt.Printf("chopperload: training %s...\n", workload)
-		tr, err := cl.Train(ctx, api.TrainRequest{
-			Workload:      workload,
-			InputBytes:    inputBytes,
-			Shrink:        shrink,
-			SizeFractions: []float64{0.5, 1.0},
-			Partitions:    []int{150, 300},
-		})
-		if err != nil {
-			return fmt.Errorf("train: %w", err)
+		workloads := cfg.Workloads
+		if len(workloads) == 0 {
+			workloads = []string{cfg.Workload}
 		}
-		fmt.Printf("chopperload: trained %s: %d runs (%d total, %d samples)\n",
-			tr.Workload, tr.Runs, tr.TotalRuns, tr.TotalSamples)
+		for _, w := range workloads {
+			fmt.Printf("chopperload: training %s...\n", w)
+			tr, err := cl.Train(ctx, api.TrainRequest{
+				Workload:      w,
+				InputBytes:    cfg.InputBytes,
+				Shrink:        cfg.Shrink,
+				SizeFractions: []float64{0.5, 1.0},
+				Partitions:    []int{150, 300},
+			})
+			if err != nil {
+				return fmt.Errorf("train %s: %w", w, err)
+			}
+			fmt.Printf("chopperload: trained %s: %d runs (%d total, %d samples)\n",
+				tr.Workload, tr.Runs, tr.TotalRuns, tr.TotalSamples)
+		}
 	}
-	res, err := loadgen.Run(ctx, loadgen.Config{
-		Base:           addr,
-		Concurrency:    c,
-		Requests:       n,
-		Workload:       workload,
-		InputBytes:     inputBytes,
-		Shrink:         shrink,
-		SubmitFraction: submitFrac,
-		Tuned:          tuned,
-		NoRecord:       noRecord,
-	})
+	res, err := loadgen.Run(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Println("chopperload: " + res.String())
+	if b := res.BreakdownString(); b != "" {
+		fmt.Println(b)
+	}
 	if res.Dropped > 0 {
 		return fmt.Errorf("%d requests dropped (first error: %s)", res.Dropped, res.FirstError)
 	}

@@ -6,116 +6,18 @@ package main
 // as the chopperd gate (see ci.sh).
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"fmt"
 	"os"
-	"os/exec"
 	"path/filepath"
-	"strings"
-	"syscall"
 	"time"
 
 	"chopper/api"
 	"chopper/client"
+	"chopper/internal/fleetproc"
 	"chopper/internal/loadgen"
 )
-
-// daemon is one spawned chopperd process.
-type daemon struct {
-	cmd  *exec.Cmd
-	addr string        // base URL parsed from the announce line
-	done chan error    // resolves when the process exits
-	out  *bytes.Buffer // captured stdout+stderr (diagnostics)
-}
-
-// startDaemon spawns binary with an ephemeral port and the given store
-// path, waits for the announce line, and confirms /healthz.
-func startDaemon(ctx context.Context, binary, store string) (*daemon, error) {
-	cmd := exec.CommandContext(ctx, binary, "-addr", "127.0.0.1:0", "-store", store)
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return nil, err
-	}
-	out := &bytes.Buffer{}
-	cmd.Stderr = out
-	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("start %s: %w", binary, err)
-	}
-	d := &daemon{cmd: cmd, done: make(chan error, 1), out: out}
-
-	addrc := make(chan string, 1)
-	scanDone := make(chan struct{})
-	go func() {
-		defer close(scanDone)
-		sc := bufio.NewScanner(stdout)
-		for sc.Scan() {
-			line := sc.Text()
-			out.WriteString(line + "\n")
-			if rest, ok := strings.CutPrefix(line, "chopperd: listening on "); ok {
-				select {
-				case addrc <- strings.TrimSpace(rest):
-				default:
-				}
-			}
-		}
-	}()
-	go func() {
-		err := cmd.Wait()
-		<-scanDone
-		d.done <- err
-	}()
-
-	select {
-	case d.addr = <-addrc:
-	case err := <-d.done:
-		return nil, fmt.Errorf("chopperd exited before announcing: %v\n%s", err, out.String())
-	case <-time.After(30 * time.Second):
-		_ = cmd.Process.Kill()
-		return nil, fmt.Errorf("chopperd did not announce within 30s\n%s", out.String())
-	}
-	cl := client.New(d.addr)
-	hctx, cancel := context.WithTimeout(ctx, 10*time.Second)
-	defer cancel()
-	for {
-		if _, err := cl.Health(hctx); err == nil {
-			return d, nil
-		}
-		select {
-		case <-hctx.Done():
-			_ = cmd.Process.Kill()
-			return nil, fmt.Errorf("chopperd never became healthy\n%s", out.String())
-		case <-time.After(50 * time.Millisecond):
-		}
-	}
-}
-
-// kill SIGKILLs the daemon (the crash in the crash-recovery check).
-func (d *daemon) kill() error {
-	if err := d.cmd.Process.Kill(); err != nil {
-		return err
-	}
-	<-d.done // expected non-nil: the process was killed
-	return nil
-}
-
-// drain SIGTERMs the daemon and requires a clean (exit 0) drain.
-func (d *daemon) drain() error {
-	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
-		return err
-	}
-	select {
-	case err := <-d.done:
-		if err != nil {
-			return fmt.Errorf("drain exited non-zero: %v\n%s", err, d.out.String())
-		}
-		return nil
-	case <-time.After(60 * time.Second):
-		_ = d.cmd.Process.Kill()
-		return fmt.Errorf("drain did not finish within 60s\n%s", d.out.String())
-	}
-}
 
 // step logs one smoke phase.
 func step(format string, args ...any) {
@@ -136,11 +38,11 @@ func runSmoke(ctx context.Context, binary string) error {
 	const workload = "kmeans"
 
 	step("starting chopperd (store %s)", store)
-	d, err := startDaemon(ctx, binary, store)
+	d, err := fleetproc.Start(ctx, binary, "-addr", "127.0.0.1:0", "-store", store)
 	if err != nil {
 		return err
 	}
-	cl := client.New(d.addr)
+	cl := client.New(d.Addr)
 
 	// Train a small grid so recommend has observations to optimize from.
 	step("training %s", workload)
@@ -160,7 +62,7 @@ func runSmoke(ctx context.Context, binary string) error {
 	// byte-identity checks below.
 	step("burst: 128 requests at 64-way concurrency")
 	res, err := loadgen.Run(ctx, loadgen.Config{
-		Base:           d.addr,
+		Base:           d.Addr,
 		Concurrency:    64,
 		Requests:       128,
 		Workload:       workload,
@@ -191,14 +93,14 @@ func runSmoke(ctx context.Context, binary string) error {
 	// Crash recovery: SIGKILL (no snapshot) and restart; the journal alone
 	// must reproduce the exact recommendation.
 	step("SIGKILL and restart (journal replay)")
-	if err := d.kill(); err != nil {
+	if err := d.Kill(); err != nil {
 		return err
 	}
-	d, err = startDaemon(ctx, binary, store)
+	d, err = fleetproc.Start(ctx, binary, "-addr", "127.0.0.1:0", "-store", store)
 	if err != nil {
 		return fmt.Errorf("restart after kill: %w", err)
 	}
-	cl = client.New(d.addr)
+	cl = client.New(d.Addr)
 	r2, err := cl.RecommendRaw(ctx, workload, 0)
 	if err != nil {
 		return fmt.Errorf("recommend after replay: %w", err)
@@ -240,18 +142,18 @@ waitAdmitted:
 			break
 		}
 		if time.Now().After(admitDeadline) {
-			return fmt.Errorf("submit not admitted within 30s\n%s", d.out.String())
+			return fmt.Errorf("submit not admitted within 30s\n%s", d.Output())
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if err := d.drain(); err != nil {
+	if err := d.Drain(); err != nil {
 		return err
 	}
 	if !submitDone {
 		submitErr = <-subErr
 	}
 	if submitErr != nil {
-		return fmt.Errorf("in-flight submit failed during drain: %w", submitErr)
+		return fmt.Errorf("in-flight submit failed during drain: %w\n%s", submitErr, d.Output())
 	}
 	if fi, err := os.Stat(store); err != nil || fi.Size() == 0 {
 		return fmt.Errorf("no snapshot at %s after drain (err %v)", store, err)
@@ -259,11 +161,11 @@ waitAdmitted:
 
 	// Snapshot path: restart once more; state now comes from the snapshot.
 	step("restart from snapshot")
-	d, err = startDaemon(ctx, binary, store)
+	d, err = fleetproc.Start(ctx, binary, "-addr", "127.0.0.1:0", "-store", store)
 	if err != nil {
 		return fmt.Errorf("restart after drain: %w", err)
 	}
-	cl = client.New(d.addr)
+	cl = client.New(d.Addr)
 	r3, err := cl.RecommendRaw(ctx, workload, 0)
 	if err != nil {
 		return fmt.Errorf("recommend after snapshot restart: %w", err)
@@ -278,7 +180,7 @@ waitAdmitted:
 	if h3.JournalRecords != 0 {
 		return fmt.Errorf("journal not truncated by snapshot: %d records", h3.JournalRecords)
 	}
-	if err := d.drain(); err != nil {
+	if err := d.Drain(); err != nil {
 		return err
 	}
 	step("snapshot ok: recommend byte-identical, journal empty")

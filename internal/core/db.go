@@ -29,9 +29,14 @@ type StageNode struct {
 
 	// InputFraction is the mean observed stage input size divided by the
 	// workload input size; it projects a new workload size onto per-stage
-	// input sizes (getStageInput in the paper's algorithms).
+	// input sizes (getStageInput in the paper's algorithms). FracSamples is
+	// its accumulation count; it is persisted so a node recovered from a
+	// snapshot keeps accumulating with the same weights as one that lived
+	// through every AddRun — the property that keeps a replica bootstrapped
+	// from a primary's snapshot byte-converged with the primary under
+	// subsequent journal shipping.
 	InputFraction float64 `json:"inputFraction"`
-	fracSamples   int
+	FracSamples   int     `json:"fracSamples,omitempty"`
 
 	// DefaultP and DefaultScheme describe the partitioning last observed
 	// under the default (vanilla) configuration.
@@ -91,10 +96,10 @@ type StageObservation struct {
 	Fixed       bool     `json:"fixed,omitempty"`
 	IsJoinLike  bool     `json:"join,omitempty"`
 	IsResult    bool     `json:"result,omitempty"`
-	Partitioner string   `json:"part"` // scheme name used ("hash", "range", "input")
+	Partitioner string   `json:"part"`             // scheme name used ("hash", "range", "input")
 	PinKey      string   `json:"pinKey,omitempty"` // partition-dependency group
-	D           float64  `json:"d"` // stage input bytes (source + cache + shuffle read)
-	P           float64  `json:"p"` // partition count
+	D           float64  `json:"d"`                // stage input bytes (source + cache + shuffle read)
+	P           float64  `json:"p"`                // partition count
 	Texe        float64  `json:"texe"`
 	Sshuffle    float64  `json:"sshuffle"`
 	IsDefault   bool     `json:"default,omitempty"` // observed under the default configuration
@@ -133,8 +138,8 @@ func (db *DB) AddRun(workload string, workloadInputBytes float64, obs []StageObs
 		}
 		if workloadInputBytes > 0 {
 			frac := o.D / workloadInputBytes
-			node.InputFraction = (node.InputFraction*float64(node.fracSamples) + frac) / float64(node.fracSamples+1)
-			node.fracSamples++
+			node.InputFraction = (node.InputFraction*float64(node.FracSamples) + frac) / float64(node.FracSamples+1)
+			node.FracSamples++
 		}
 		if o.IsDefault {
 			node.DefaultP = int(o.P)
@@ -366,13 +371,32 @@ func LoadDB(path string) (*DB, error) {
 	if err := json.Unmarshal(data, db); err != nil {
 		return nil, fmt.Errorf("core: unmarshal db: %w", err)
 	}
-	if db.Workloads == nil {
+	normalizeDB(db)
+	return db, nil
+}
+
+// normalizeDB repairs the nil maps a JSON round-trip can produce. It runs
+// on freshly unmarshaled DBs that no other goroutine can reach yet, so the
+// accesses below are deliberately lock-free.
+func normalizeDB(db *DB) {
+	if db.Workloads == nil { //lint:ignore lockcontract freshly unmarshaled DB, not yet shared with any other goroutine
 		db.Workloads = map[string]*WorkloadData{}
 	}
-	for _, wd := range db.Workloads {
+	for _, wd := range db.Workloads { //lint:ignore lockcontract freshly unmarshaled DB, not yet shared with any other goroutine
 		if wd.Samples == nil {
 			wd.Samples = map[string]map[string][]model.Sample{}
 		}
 	}
-	return db, nil
+}
+
+// ReplaceAll swaps in src's entire workload map under the write lock and
+// takes ownership of it — the caller must not touch src afterwards. This is
+// the replica bootstrap path: the observer is deliberately not invoked (the
+// records behind src are already durable in the shipped journal, so
+// re-journaling them here would double them on replay).
+func (db *DB) ReplaceAll(src *DB) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	//lint:ignore journalorder bootstrap swap: the records behind src are already durable in the shipped journal; re-journaling would double them on replay
+	db.Workloads = src.Workloads //lint:ignore lockcontract src is exclusively owned by the caller (ownership transfer), never shared
 }

@@ -38,6 +38,7 @@ type Store struct {
 	size     int64 // journal bytes on disk (buffer always flushed by Append)
 	appended int
 	replayed int
+	epoch    int64 // journal stream identity (segment.go); bumps on truncation
 	closed   bool
 
 	// SyncAppends controls whether every Append fsyncs the journal
@@ -87,6 +88,9 @@ func OpenStore(base string) (*Store, *DB, error) {
 	}
 	st.w = bufio.NewWriter(st.journal)
 	st.size = off
+	if st.epoch, err = loadEpoch(st.metaPath()); err != nil {
+		return nil, nil, err
+	}
 	return st, db, nil
 }
 
@@ -246,6 +250,12 @@ func (s *Store) commitSnapshot(data []byte, coveredSize int64, coveredRecords in
 	if err := os.Rename(tmp.Name(), s.base); err != nil {
 		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("core: store: publish snapshot: %w", err)
+	}
+	// The truncation below invalidates every replica byte offset; bump the
+	// epoch first so a replica that raced the commit sees the mismatch and
+	// bootstraps instead of reading the compacted journal at stale offsets.
+	if err := s.setEpochLocked(s.epoch + 1); err != nil {
+		return err
 	}
 	// Records journaled after the marshal (an AddRun that interleaved
 	// between beginSnapshot and here) are absent from the snapshot; carry

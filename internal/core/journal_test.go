@@ -219,13 +219,14 @@ func TestStoreSnapshotAtomicPublish(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// No temp files left behind.
+	// No temp files left behind (the epoch meta sidecar is expected).
 	entries, err := os.ReadDir(filepath.Dir(base))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		if name := e.Name(); name != filepath.Base(base) && name != filepath.Base(base)+".journal" {
+		name := e.Name()
+		if name != filepath.Base(base) && name != filepath.Base(base)+".journal" && name != filepath.Base(base)+".meta" {
 			t.Fatalf("stray file after snapshot: %s", name)
 		}
 	}

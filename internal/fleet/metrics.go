@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// metricsSource is one backend's Prometheus text exposition.
+type metricsSource struct {
+	Backend string
+	Body    []byte
+}
+
+// metricFamily accumulates one merged family: the first backend's HELP/TYPE
+// comments plus every backend's samples, relabeled.
+type metricFamily struct {
+	comments []string
+	samples  []string
+}
+
+// mergeMetrics combines several Prometheus text expositions into one:
+// samples gain a backend="<url>" label, and families keep a single
+// HELP/TYPE header (the first seen) with all backends' samples grouped
+// under it — the exposition format requires a family's samples to be
+// contiguous. Sources are processed in order, so the output is
+// deterministic for a fixed topology.
+func mergeMetrics(sources []metricsSource) []byte {
+	var order []string
+	families := map[string]*metricFamily{}
+	family := func(name string) *metricFamily {
+		f, ok := families[name]
+		if !ok {
+			f = &metricFamily{}
+			families[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	for _, src := range sources {
+		// Within one well-formed exposition, samples follow their family's
+		// HELP/TYPE comments; track the current family while scanning so
+		// histogram series (name_bucket, name_sum, ...) group with it.
+		current := ""
+		for _, line := range strings.Split(string(src.Body), "\n") {
+			line = strings.TrimRight(line, "\r")
+			if line == "" {
+				continue
+			}
+			if name, ok := commentFamily(line); ok {
+				f := family(name)
+				current = name
+				if !contains(f.comments, line) {
+					f.comments = append(f.comments, line)
+				}
+				continue
+			}
+			name := sampleName(line)
+			if name == "" {
+				continue
+			}
+			if current == "" || !strings.HasPrefix(name, current) {
+				current = name
+			}
+			family(current).samples = append(family(current).samples, relabel(line, src.Backend))
+		}
+	}
+	var buf bytes.Buffer
+	for _, name := range order {
+		f := families[name]
+		for _, c := range f.comments {
+			buf.WriteString(c)
+			buf.WriteByte('\n')
+		}
+		for _, s := range f.samples {
+			buf.WriteString(s)
+			buf.WriteByte('\n')
+		}
+	}
+	return buf.Bytes()
+}
+
+// commentFamily extracts the family name of a "# HELP name ..." or
+// "# TYPE name ..." line.
+func commentFamily(line string) (string, bool) {
+	rest, ok := strings.CutPrefix(line, "# HELP ")
+	if !ok {
+		rest, ok = strings.CutPrefix(line, "# TYPE ")
+	}
+	if !ok {
+		return "", false
+	}
+	name, _, _ := strings.Cut(rest, " ")
+	return name, name != ""
+}
+
+// sampleName extracts the metric name of a sample line ("name{...} v" or
+// "name v"); comment and malformed lines yield "".
+func sampleName(line string) string {
+	if strings.HasPrefix(line, "#") {
+		return ""
+	}
+	end := strings.IndexAny(line, "{ ")
+	if end <= 0 {
+		return ""
+	}
+	return line[:end]
+}
+
+// relabel inserts backend="<url>" as the first label of a sample line.
+func relabel(line, backend string) string {
+	tag := fmt.Sprintf("backend=%q", backend)
+	if brace := strings.IndexByte(line, '{'); brace >= 0 && brace < strings.IndexByte(line, ' ') {
+		return line[:brace+1] + tag + "," + line[brace+1:]
+	}
+	name, rest, ok := strings.Cut(line, " ")
+	if !ok {
+		return line
+	}
+	return name + "{" + tag + "} " + rest
+}
+
+// contains reports whether list holds s.
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,308 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"chopper/api"
+	"chopper/internal/core"
+)
+
+// ReplicatorConfig shapes a Replicator.
+type ReplicatorConfig struct {
+	// PrimaryURL is the shard primary serving /v1/repl/*.
+	PrimaryURL string
+	// Store and DB are the replica's own durable store and served database;
+	// the replicator keeps both converged with the primary's.
+	Store *core.Store
+	DB    *core.DB
+	// Poll is the idle poll interval (default 200ms); catch-up pulls run
+	// back-to-back without sleeping.
+	Poll time.Duration
+	// SegmentMax caps one segment request (default 1MiB).
+	SegmentMax int64
+	// Client is the HTTP client (default: 30s timeout).
+	Client *http.Client
+}
+
+// ReplicaStatus is a point-in-time copy of the replication state.
+type ReplicaStatus struct {
+	Epoch       int64
+	Pos         int64
+	PrimarySize int64
+	LagBytes    int64
+	// Synced reports whether the replica has ever fully caught up; it stays
+	// true afterwards (the router's readiness signal — a replica that has
+	// been at zero lag serves reads even while briefly behind again).
+	Synced  bool
+	LastErr string
+}
+
+// Replicator keeps one replica converged with its shard primary by pulling
+// journal segments (and, after a truncation on the primary, a full
+// bootstrap image). It owns no goroutines: Run is a blocking loop the
+// caller spawns under its own barrier.
+type Replicator struct {
+	cfg ReplicatorConfig
+
+	mu          sync.Mutex
+	pos         int64 // next journal byte to pull == local journal size
+	epoch       int64
+	primarySize int64
+	synced      bool
+	lastErr     error
+}
+
+// NewReplicator builds a replicator resuming from the store's durable
+// position: its own journal size within its persisted epoch. A replica
+// killed mid-append resumes correctly because OpenStore already truncated
+// the torn tail.
+func NewReplicator(cfg ReplicatorConfig) (*Replicator, error) {
+	if cfg.PrimaryURL == "" || cfg.Store == nil || cfg.DB == nil {
+		return nil, fmt.Errorf("fleet: replicator needs a primary URL, store, and db")
+	}
+	if _, err := url.Parse(cfg.PrimaryURL); err != nil {
+		return nil, fmt.Errorf("fleet: bad primary URL %q: %w", cfg.PrimaryURL, err)
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	if cfg.SegmentMax <= 0 {
+		cfg.SegmentMax = 1 << 20
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Replicator{
+		cfg:   cfg,
+		pos:   cfg.Store.JournalSize(),
+		epoch: cfg.Store.Epoch(),
+	}, nil
+}
+
+// Run pulls until stop closes. Blocking — the caller spawns it on a
+// goroutine joined by its own WaitGroup. Transport and protocol errors are
+// recorded in the status and retried on the next tick; only a failure to
+// apply durably (a local disk error) also surfaces there, with the pull
+// position left un-advanced so the records are re-pulled.
+func (r *Replicator) Run(stop <-chan struct{}) {
+	for {
+		r.setErr(r.pullOnce())
+		select {
+		case <-stop:
+			return
+		case <-time.After(r.cfg.Poll):
+		}
+	}
+}
+
+// pullOnce brings the replica as close to the primary as one status check
+// allows: bootstrap if the stream identity changed, then segment pulls
+// back-to-back until the lag observed at entry is drained.
+func (r *Replicator) pullOnce() error {
+	ps, err := r.primaryStatus()
+	if err != nil {
+		return err
+	}
+	pos, epoch := r.position()
+	// An epoch mismatch means the primary truncated its journal (snapshot
+	// compaction); a position beyond the primary's journal means the same
+	// thing raced us. Either way local offsets are meaningless: reinstall.
+	if epoch != ps.Epoch || pos > ps.JournalSize {
+		if err := r.bootstrap(); err != nil {
+			return err
+		}
+	}
+	for {
+		pos, epoch = r.position()
+		if pos >= ps.JournalSize && epoch == ps.Epoch {
+			r.observePrimary(ps.JournalSize)
+			return nil
+		}
+		seg, size, err := r.fetchSegment(epoch, pos)
+		if err != nil {
+			return err
+		}
+		ps.JournalSize, ps.Epoch = size, epoch
+		if len(seg) == 0 {
+			r.observePrimary(size)
+			return nil
+		}
+		if err := r.applySegment(seg, pos); err != nil {
+			return err
+		}
+		r.observePrimary(size)
+	}
+}
+
+// applySegment appends and applies the journal bytes whose first byte sits
+// at primary offset start. Duplicate delivery is idempotent: the prefix
+// already at or below the local position is dropped by byte arithmetic
+// (both offsets are record-aligned), so re-applying an overlapping segment
+// applies only the genuinely new suffix. A gap (start beyond the local
+// position) is refused — skipping records would fork the state.
+func (r *Replicator) applySegment(seg []byte, start int64) error {
+	pos, _ := r.position()
+	if start > pos {
+		return fmt.Errorf("fleet: segment gap: starts at %d, replica at %d", start, pos)
+	}
+	if skip := pos - start; skip > 0 {
+		if skip >= int64(len(seg)) {
+			return nil
+		}
+		seg = seg[skip:]
+	}
+	recs, consumed, err := core.ParseSegment(seg)
+	if err != nil {
+		return fmt.Errorf("fleet: apply segment: %w", err)
+	}
+	// A transfer cut mid-record leaves a partial trailing line; apply the
+	// complete prefix and let the next pull re-fetch the rest.
+	seg = seg[:consumed]
+	if len(seg) == 0 {
+		return nil
+	}
+	// Durability before visibility: the raw bytes land in the local journal
+	// (keeping it a byte-identical prefix of the primary's) before the
+	// records mutate the served DB. A crash between the two is healed at
+	// restart, when the journal is replayed into a fresh DB.
+	if _, err := r.cfg.Store.AppendRaw(seg); err != nil {
+		return fmt.Errorf("fleet: journal shipped segment: %w", err)
+	}
+	for _, rec := range recs {
+		r.cfg.DB.AddRun(rec.Workload, rec.InputBytes, rec.Obs)
+	}
+	r.advance(int64(len(seg)))
+	return nil
+}
+
+// bootstrap reinstalls the replica from the primary's full image and
+// resumes pulling at the image's journal end.
+func (r *Replicator) bootstrap() error {
+	resp, err := r.cfg.Client.Get(r.cfg.PrimaryURL + "/v1/repl/bootstrap")
+	if err != nil {
+		return fmt.Errorf("fleet: fetch bootstrap: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }() // body fully read below
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: fetch bootstrap: %s", resp.Status)
+	}
+	var img api.ReplBootstrap
+	if err := json.NewDecoder(resp.Body).Decode(&img); err != nil {
+		return fmt.Errorf("fleet: decode bootstrap: %w", err)
+	}
+	db, err := r.cfg.Store.InstallBootstrap(img.Snapshot, img.Journal, img.Epoch)
+	if err != nil {
+		return fmt.Errorf("fleet: install bootstrap: %w", err)
+	}
+	// Swap the rebuilt state into the served DB in place, so handlers
+	// holding the DB pointer see the new world atomically.
+	r.cfg.DB.ReplaceAll(db)
+	r.reset(int64(len(img.Journal)), img.Epoch)
+	return nil
+}
+
+// primaryStatus fetches the primary's stream identity and length.
+func (r *Replicator) primaryStatus() (api.ReplStatus, error) {
+	resp, err := r.cfg.Client.Get(r.cfg.PrimaryURL + "/v1/repl/status")
+	if err != nil {
+		return api.ReplStatus{}, fmt.Errorf("fleet: fetch repl status: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }() // body fully read below
+	if resp.StatusCode != http.StatusOK {
+		return api.ReplStatus{}, fmt.Errorf("fleet: fetch repl status: %s", resp.Status)
+	}
+	var st api.ReplStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return api.ReplStatus{}, fmt.Errorf("fleet: decode repl status: %w", err)
+	}
+	return st, nil
+}
+
+// fetchSegment pulls journal bytes at [from, from+SegmentMax) of epoch.
+func (r *Replicator) fetchSegment(epoch, from int64) ([]byte, int64, error) {
+	u := fmt.Sprintf("%s/v1/repl/segment?epoch=%d&from=%d&max=%d", r.cfg.PrimaryURL, epoch, from, r.cfg.SegmentMax)
+	resp, err := r.cfg.Client.Get(u)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: fetch segment: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }() // body fully read below
+	if resp.StatusCode != http.StatusOK {
+		// 409 = stale epoch; the next pullOnce re-checks status and
+		// bootstraps. Other statuses are transport-equivalent failures.
+		return nil, 0, fmt.Errorf("fleet: fetch segment: %s", resp.Status)
+	}
+	size, err := strconv.ParseInt(resp.Header.Get(headerJournalSize), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: segment response missing %s", headerJournalSize)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: read segment: %w", err)
+	}
+	return data, size, nil
+}
+
+// Status returns a copy of the replication state.
+func (r *Replicator) Status() ReplicaStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := ReplicaStatus{
+		Epoch:       r.epoch,
+		Pos:         r.pos,
+		PrimarySize: r.primarySize,
+		Synced:      r.synced,
+	}
+	if st.LagBytes = r.primarySize - r.pos; st.LagBytes < 0 {
+		st.LagBytes = 0
+	}
+	if r.lastErr != nil {
+		st.LastErr = r.lastErr.Error()
+	}
+	return st
+}
+
+// position reads the pull cursor.
+func (r *Replicator) position() (pos, epoch int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pos, r.epoch
+}
+
+// advance moves the pull cursor after a durable apply.
+func (r *Replicator) advance(n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pos += n
+}
+
+// reset adopts a new stream identity after a bootstrap.
+func (r *Replicator) reset(pos, epoch int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pos, r.epoch = pos, epoch
+}
+
+// observePrimary records the primary journal size seen by the last pull and
+// latches Synced once the local position reaches it.
+func (r *Replicator) observePrimary(size int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.primarySize = size
+	if r.pos >= size {
+		r.synced = true
+	}
+}
+
+// setErr records the last pull outcome.
+func (r *Replicator) setErr(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lastErr = err
+}

@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"chopper/api"
+	"chopper/internal/core"
+)
+
+// Replication wire headers: every /v1/repl/segment response stamps the
+// primary's current epoch and journal size so the replica can detect a
+// truncation (epoch bump) or learn how far behind it still is without an
+// extra status round trip.
+const (
+	headerEpoch       = "X-Chopper-Epoch"
+	headerJournalSize = "X-Chopper-Journal-Size"
+)
+
+// maxSegmentBytes caps one segment response; larger catch-ups take multiple
+// pulls, bounding the memory a single request pins on either side.
+const maxSegmentBytes = 4 << 20
+
+// RegisterRepl mounts the journal-shipping endpoints a primary serves onto
+// mux: stream status, record-aligned segment reads, and the full bootstrap
+// image. All read-only with respect to the store.
+func RegisterRepl(mux *http.ServeMux, st *core.Store) {
+	mux.HandleFunc("GET /v1/repl/status", func(w http.ResponseWriter, r *http.Request) {
+		replWriteJSON(w, http.StatusOK, api.ReplStatus{Epoch: st.Epoch(), JournalSize: st.JournalSize()})
+	})
+	mux.HandleFunc("GET /v1/repl/segment", func(w http.ResponseWriter, r *http.Request) {
+		handleSegment(w, r, st)
+	})
+	mux.HandleFunc("GET /v1/repl/bootstrap", func(w http.ResponseWriter, r *http.Request) {
+		snap, journal, epoch, err := st.BootstrapData()
+		if err != nil {
+			replWriteError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		replWriteJSON(w, http.StatusOK, api.ReplBootstrap{Epoch: epoch, Snapshot: snap, Journal: journal})
+	})
+}
+
+// handleSegment serves journal bytes [from, from+max) of the requested
+// epoch. A stale epoch — or an offset beyond the journal end, which means
+// the same thing — is a 409: the replica must re-check status and
+// bootstrap rather than read offsets into a stream that no longer exists.
+func handleSegment(w http.ResponseWriter, r *http.Request, st *core.Store) {
+	q := r.URL.Query()
+	epoch, err := strconv.ParseInt(q.Get("epoch"), 10, 64)
+	if err != nil || epoch <= 0 {
+		replWriteError(w, http.StatusBadRequest, "fleet: bad epoch "+q.Get("epoch"))
+		return
+	}
+	from, err := strconv.ParseInt(q.Get("from"), 10, 64)
+	if err != nil || from < 0 {
+		replWriteError(w, http.StatusBadRequest, "fleet: bad from "+q.Get("from"))
+		return
+	}
+	max := int64(maxSegmentBytes)
+	if raw := q.Get("max"); raw != "" {
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || n <= 0 {
+			replWriteError(w, http.StatusBadRequest, "fleet: bad max "+raw)
+			return
+		}
+		if n < max {
+			max = n
+		}
+	}
+	// Epoch is checked before the read and stamped from the same value the
+	// size pairs with; a concurrent snapshot commit between the two calls
+	// surfaces as the read erroring (offset beyond the now-truncated end)
+	// rather than silently serving bytes from the wrong stream.
+	if have := st.Epoch(); have != epoch {
+		w.Header().Set(headerEpoch, strconv.FormatInt(have, 10))
+		replWriteError(w, http.StatusConflict, "fleet: epoch mismatch: stream is at "+strconv.FormatInt(have, 10))
+		return
+	}
+	seg, size, err := st.ReadSegment(from, max)
+	if err != nil {
+		replWriteError(w, http.StatusConflict, err.Error())
+		return
+	}
+	w.Header().Set(headerEpoch, strconv.FormatInt(epoch, 10))
+	w.Header().Set(headerJournalSize, strconv.FormatInt(size, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(seg) // the replica is gone if this fails; it will re-pull
+}
+
+// replWriteJSON renders v with a status code.
+func replWriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// replWriteError renders the shared api.Error body.
+func replWriteError(w http.ResponseWriter, status int, msg string) {
+	replWriteJSON(w, status, api.Error{Status: status, Error: msg})
+}

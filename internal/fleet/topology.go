@@ -1,0 +1,98 @@
+// Package fleet implements the sharded, replicated chopperd deployment
+// layer: a hash topology assigning each workload signature to one shard, a
+// journal-shipping replication protocol (primaries export their core.Store
+// journal as position-stamped segments, read-only replicas import them), and
+// an HTTP router that fans client traffic out across the fleet — writes to
+// the owning primary, reads to any caught-up replica of the owning shard.
+// See DESIGN.md §10 for the architecture and failure matrix.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+)
+
+// ShardFor maps a workload signature to its owning shard: FNV-1a 64 over
+// the name, then a salted splitmix64 finalizer so the low bits used by the
+// modulus are well mixed (plain FNV-1a leaves the builtin workload names
+// clumped on two shards at n=4; the salt additionally makes the four
+// builtins land on four distinct shards at n=4 and split evenly at n=2).
+// Deterministic across processes — every router and daemon must agree on
+// the owner.
+func ShardFor(workload string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(workload); i++ {
+		h ^= uint64(workload[i])
+		h *= 1099511628211
+	}
+	h ^= 1 // spread salt (see doc comment)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h % uint64(shards))
+}
+
+// Shard is one hash range's serving group: the primary that owns writes and
+// the journal stream, plus zero or more read-only replicas copying it.
+type Shard struct {
+	Primary  string   `json:"primary"`
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// Topology is the fleet layout: Shards[i] serves every workload with
+// ShardFor(name, len(Shards)) == i.
+type Topology struct {
+	Shards []Shard `json:"shards"`
+}
+
+// ParseTopology decodes and validates a JSON topology document.
+func ParseTopology(data []byte) (Topology, error) {
+	var t Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return Topology{}, fmt.Errorf("fleet: parse topology: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}
+
+// Validate checks the topology is routable: at least one shard, every
+// backend a parseable absolute URL, no backend listed twice.
+func (t Topology) Validate() error {
+	if len(t.Shards) == 0 {
+		return fmt.Errorf("fleet: topology has no shards")
+	}
+	seen := map[string]bool{}
+	check := func(raw string, what string, shard int) error {
+		if raw == "" {
+			return fmt.Errorf("fleet: shard %d has an empty %s URL", shard, what)
+		}
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return fmt.Errorf("fleet: shard %d %s %q is not an absolute URL", shard, what, raw)
+		}
+		if seen[raw] {
+			return fmt.Errorf("fleet: backend %q appears twice in the topology", raw)
+		}
+		seen[raw] = true
+		return nil
+	}
+	for i, sh := range t.Shards {
+		if err := check(sh.Primary, "primary", i); err != nil {
+			return err
+		}
+		for _, rep := range sh.Replicas {
+			if err := check(rep, "replica", i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

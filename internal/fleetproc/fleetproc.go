@@ -1,0 +1,159 @@
+// Package fleetproc spawns and supervises chopperd child processes for the
+// fleet command and the smoke harnesses: start a daemon from a binary with
+// arbitrary flags, parse its announce line for the ephemeral address, wait
+// for /healthz to answer, and later SIGKILL (crash) or SIGTERM (drain) it.
+// It is process plumbing, not fleet logic — routing and replication live in
+// internal/fleet.
+package fleetproc
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"chopper/client"
+)
+
+// Daemon is one spawned chopperd process.
+type Daemon struct {
+	// Addr is the daemon's base URL, parsed from the announce line.
+	Addr string
+
+	cmd  *exec.Cmd
+	done chan error // resolves when the process exits
+
+	mu  sync.Mutex
+	out bytes.Buffer // captured stdout+stderr (diagnostics)
+}
+
+// Output returns the daemon's captured stdout+stderr so far.
+func (d *Daemon) Output() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.out.String()
+}
+
+// appendOut records one captured line.
+func (d *Daemon) appendOut(line string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.out.WriteString(line)
+	d.out.WriteByte('\n')
+}
+
+// Start spawns binary with args (the caller supplies every flag, including
+// -addr 127.0.0.1:0 for an ephemeral port), waits for the machine-parsed
+// announce line ("chopperd: listening on <url>"), and confirms /healthz
+// answers before returning.
+func Start(ctx context.Context, binary string, args ...string) (*Daemon, error) {
+	cmd := exec.CommandContext(ctx, binary, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{cmd: cmd, done: make(chan error, 1)}
+	var stderr lineWriter
+	stderr.sink = d.appendOut
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", binary, err)
+	}
+
+	addrc := make(chan string, 1)
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			d.appendOut(line)
+			if rest, ok := strings.CutPrefix(line, "chopperd: listening on "); ok {
+				select {
+				case addrc <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	go func() {
+		err := cmd.Wait()
+		<-scanDone
+		d.done <- err
+	}()
+
+	select {
+	case d.Addr = <-addrc:
+	case err := <-d.done:
+		return nil, fmt.Errorf("chopperd exited before announcing: %v\n%s", err, d.Output())
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, fmt.Errorf("chopperd did not announce within 30s\n%s", d.Output())
+	}
+	cl := client.New(d.Addr)
+	hctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	for {
+		if _, err := cl.Health(hctx); err == nil {
+			return d, nil
+		}
+		select {
+		case <-hctx.Done():
+			_ = cmd.Process.Kill()
+			return nil, fmt.Errorf("chopperd never became healthy\n%s", d.Output())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Kill SIGKILLs the daemon — the crash in crash-recovery checks.
+func (d *Daemon) Kill() error {
+	if err := d.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-d.done // expected non-nil: the process was killed
+	return nil
+}
+
+// Drain SIGTERMs the daemon and requires a clean (exit 0) drain.
+func (d *Daemon) Drain() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-d.done:
+		if err != nil {
+			return fmt.Errorf("drain exited non-zero: %v\n%s", err, d.Output())
+		}
+		return nil
+	case <-time.After(60 * time.Second):
+		_ = d.cmd.Process.Kill()
+		return fmt.Errorf("drain did not finish within 60s\n%s", d.Output())
+	}
+}
+
+// lineWriter splits a write stream into lines for the capture buffer.
+type lineWriter struct {
+	sink func(string)
+	buf  bytes.Buffer
+}
+
+// Write implements io.Writer.
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.buf.Write(p)
+	for {
+		line, err := w.buf.ReadString('\n')
+		if err != nil {
+			// Partial line: keep it buffered for the next write.
+			w.buf.WriteString(line)
+			break
+		}
+		w.sink(strings.TrimRight(line, "\n"))
+	}
+	return len(p), nil
+}

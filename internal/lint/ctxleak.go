@@ -16,6 +16,7 @@ import (
 // drain barrier keeps mutating the profile DB after the final snapshot.
 var ctxLeakPackages = []string{
 	"chopper/internal/exec",
+	"chopper/internal/fleet",
 	"chopper/internal/service",
 }
 

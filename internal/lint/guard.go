@@ -22,6 +22,7 @@ import (
 // for: the ones whose locking/durability contracts the rules encode.
 var guardAnalysisPackages = []string{
 	"chopper/internal/core",
+	"chopper/internal/fleet",
 	"chopper/internal/service",
 }
 
@@ -30,6 +31,7 @@ var guardAnalysisPackages = []string{
 var guardCallPackages = []string{
 	"chopper",
 	"chopper/internal/core",
+	"chopper/internal/fleet",
 	"chopper/internal/service",
 }
 

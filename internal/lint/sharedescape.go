@@ -15,6 +15,7 @@ import (
 // lock-guarded DB/metrics APIs.
 var sharedEscapePkgs = []string{
 	"chopper/internal/exec",
+	"chopper/internal/fleet",
 	"chopper/internal/service",
 }
 

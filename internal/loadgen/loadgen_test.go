@@ -95,6 +95,90 @@ func TestRetryExhaustionDrops(t *testing.T) {
 	}
 }
 
+// countingServer answers 200 {} on every path and tallies hits per path
+// prefix.
+func countingServer(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var total, trains atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		total.Add(1)
+		if strings.HasPrefix(r.URL.Path, "/v1/train") {
+			trains.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &total, &trains
+}
+
+// TestMultiTargetShardBreakdown spreads a run across two targets and two
+// workloads with a 2-shard ring: both targets must see traffic, and the
+// per-shard and per-target breakdowns must each partition the totals. The
+// shard labels pin the fleet hash-ring placement (kmeans → shard 1,
+// sql → shard 0 at n=2).
+func TestMultiTargetShardBreakdown(t *testing.T) {
+	srvA, hitsA, _ := countingServer(t)
+	srvB, hitsB, _ := countingServer(t)
+	res, err := Run(context.Background(), Config{
+		Targets:     []string{srvA.URL, srvB.URL},
+		Workloads:   []string{"kmeans", "sql"},
+		ShardCount:  2,
+		Concurrency: 4,
+		Requests:    40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 40 || res.Dropped != 0 {
+		t.Fatalf("Requests/Dropped = %d/%d, want 40/0", res.Requests, res.Dropped)
+	}
+	if hitsA.Load() == 0 || hitsB.Load() == 0 {
+		t.Fatalf("target hits = %d/%d, want both > 0", hitsA.Load(), hitsB.Load())
+	}
+	if len(res.Shards) != 2 || len(res.Targets) != 2 {
+		t.Fatalf("breakdown rows = %d shards / %d targets, want 2/2", len(res.Shards), len(res.Targets))
+	}
+	if res.Shards[0].Label != "shard 0 (sql)" || res.Shards[1].Label != "shard 1 (kmeans)" {
+		t.Fatalf("shard labels = %q, %q; want shard 0 (sql), shard 1 (kmeans)",
+			res.Shards[0].Label, res.Shards[1].Label)
+	}
+	for _, rows := range [][]Breakdown{res.Shards, res.Targets} {
+		sum := 0
+		for i := range rows {
+			sum += rows[i].Requests
+		}
+		if sum != res.Requests {
+			t.Fatalf("breakdown rows sum to %d requests, want %d", sum, res.Requests)
+		}
+	}
+	if out := res.BreakdownString(); !strings.Contains(out, "shard 1 (kmeans)") || !strings.Contains(out, srvA.URL) {
+		t.Fatalf("BreakdownString missing rows:\n%s", out)
+	}
+}
+
+// TestTrainFractionIssuesTrains pins the write mix: TrainFraction 1 turns
+// every request into a /v1/train call.
+func TestTrainFractionIssuesTrains(t *testing.T) {
+	srv, total, trains := countingServer(t)
+	res, err := Run(context.Background(), Config{
+		Base:          srv.URL,
+		Concurrency:   2,
+		Requests:      8,
+		TrainFraction: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trains != 8 || res.Submits != 0 || res.Recommends != 0 {
+		t.Fatalf("Trains/Submits/Recommends = %d/%d/%d, want 8/0/0",
+			res.Trains, res.Submits, res.Recommends)
+	}
+	if total.Load() != 8 || trains.Load() != 8 {
+		t.Fatalf("server saw %d requests (%d trains), want 8 (8 trains)", total.Load(), trains.Load())
+	}
+}
+
 // TestRetryAfterBackoffHonorsContext proves two things at once: the
 // worker adopts the server's Retry-After hint (a 5s backoff it would
 // otherwise never choose), and the backoff select still honors context

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"chopper/api"
+	"chopper/client"
+)
+
+// waitSynced polls a replica's /healthz until it reports a fully caught-up
+// stream (or the deadline passes). The synced/lag gauges describe the
+// replica's last completed poll cycle — stale by up to one poll interval if
+// the primary was being written during the cycle — so the caller also
+// passes the primary's client and waitSynced requires the replica's own
+// journal to hold at least as many records as the (now quiescent) primary's.
+func waitSynced(t *testing.T, cl, primary *client.Client) *api.Health {
+	t.Helper()
+	ph, err := primary.Health(context.Background())
+	if err != nil {
+		t.Fatalf("primary health: %v", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		h, err := cl.Health(context.Background())
+		if err == nil && h.ReplicationSynced && h.ReplicationLagBytes == 0 &&
+			h.Status == "ok" && h.JournalRecords >= ph.JournalRecords {
+			return h
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never synced; last health: %+v err=%v (primary has %d records)",
+				h, err, ph.JournalRecords)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestReplicaFollowsPrimary is the in-process fleet integration test: a
+// primary daemon and a replica daemon wired over real HTTP, with the
+// replica read-only, catching up via journal shipping, and answering
+// recommendations byte-identical to the primary's.
+func TestReplicaFollowsPrimary(t *testing.T) {
+	dir := t.TempDir()
+	_, pcl, _ := startTestServer(t, Config{
+		StorePath: filepath.Join(dir, "p.db"),
+		Role:      "primary",
+		ShardID:   0, ShardCount: 1,
+	})
+	_, rcl, _ := startTestServer(t, Config{
+		StorePath:  filepath.Join(dir, "r.db"),
+		Role:       "replica",
+		PrimaryURL: pcl.Base,
+		ReplPoll:   20 * time.Millisecond,
+		ShardID:    0, ShardCount: 1,
+	})
+	ctx := context.Background()
+
+	// The replica refuses writes with 403, pointing at the primary.
+	_, err := rcl.Train(ctx, api.TrainRequest{Workload: "kmeans"})
+	if got := apiStatus(t, err); got != http.StatusForbidden {
+		t.Fatalf("train on replica: status %d, want 403", got)
+	}
+	_, err = rcl.Submit(ctx, api.SubmitRequest{Workload: "kmeans"})
+	if got := apiStatus(t, err); got != http.StatusForbidden {
+		t.Fatalf("submit on replica: status %d, want 403", got)
+	}
+
+	smallTrain(t, pcl, "kmeans")
+	h := waitSynced(t, rcl, pcl)
+	if h.Role != "replica" || h.ReplicationPos == 0 || h.ReplicationEpoch == 0 {
+		t.Fatalf("replica health missing replication state: %+v", h)
+	}
+	ph, err := pcl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Role != "primary" {
+		t.Fatalf("primary health role = %q", ph.Role)
+	}
+
+	// The answer a client gets must not depend on which daemon served it.
+	praw, err := pcl.RecommendRaw(ctx, "kmeans", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rraw, err := rcl.RecommendRaw(ctx, "kmeans", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(praw, rraw) {
+		t.Fatalf("replica recommendation differs from primary:\nprimary: %s\nreplica: %s", praw, rraw)
+	}
+
+	// The replication lag gauge is exported on the replica.
+	metrics, err := rcl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(metrics), []byte("chopperd_replication_lag_bytes")) {
+		t.Fatal("replica /metrics missing chopperd_replication_lag_bytes")
+	}
+}
+
+// TestReplicaConfigValidation pins the role plumbing's input checking.
+func TestReplicaConfigValidation(t *testing.T) {
+	if _, err := New(Config{Role: "replica"}); err == nil {
+		t.Fatal("replica without store/primary must be rejected")
+	}
+	if _, err := New(Config{Role: "observer"}); err == nil {
+		t.Fatal("unknown role must be rejected")
+	}
+}

@@ -142,8 +142,23 @@ func (s *Server) runJob(w http.ResponseWriter, r *http.Request, timeoutSeconds f
 	}
 }
 
+// rejectReadOnly refuses mutating requests on a replica, which serves the
+// read family only; writes belong to the shard primary (the fleet router
+// routes them there).
+func (s *Server) rejectReadOnly(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.Role != "replica" {
+		return false
+	}
+	s.writeError(w, r, httpErrf(http.StatusForbidden,
+		"service: replica is read-only; send writes to the shard primary %s", s.cfg.PrimaryURL))
+	return true
+}
+
 // handleSubmit runs one workload job through a pooled session.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w, r) {
+		return
+	}
 	var req api.SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeError(w, r, httpErrf(http.StatusBadRequest, "service: bad submit body: %v", err))
@@ -159,6 +174,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // handleTrain runs incremental profiling for one workload.
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w, r) {
+		return
+	}
 	var req api.TrainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeError(w, r, httpErrf(http.StatusBadRequest, "service: bad train body: %v", err))
@@ -256,6 +274,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		h.StorePath = s.store.SnapshotPath()
 		h.JournalRecords = s.store.JournalRecords()
+	}
+	h.Role = s.cfg.Role
+	h.ShardID = s.cfg.ShardID
+	h.ShardCount = s.cfg.ShardCount
+	if s.repl != nil {
+		st := s.repl.Status()
+		h.ReplicationEpoch = st.Epoch
+		h.ReplicationPos = st.Pos
+		h.ReplicationLagBytes = st.LagBytes
+		h.ReplicationSynced = st.Synced
+		h.ReplicationError = st.LastErr
+		// A replica that has never fully caught up is not ready for reads;
+		// the fleet router keeps it out of the read path until "ok".
+		if !st.Synced && h.Status == "ok" {
+			h.Status = "syncing"
+		}
 	}
 	s.writeJSON(w, http.StatusOK, h)
 }

@@ -27,6 +27,7 @@ import (
 
 	"chopper"
 	"chopper/internal/core"
+	"chopper/internal/fleet"
 	"chopper/internal/metrics"
 	"chopper/internal/workloads"
 )
@@ -54,6 +55,18 @@ type Config struct {
 	// SyncAppends controls journal fsync per observation (default true);
 	// benchmarks may disable it.
 	SyncAppends *bool
+	// Role selects the fleet role: "" (standalone), "primary" (owns one
+	// shard's writes and serves the replication stream), or "replica"
+	// (read-only; converges on PrimaryURL's journal). See internal/fleet.
+	Role string
+	// ShardID and ShardCount locate the daemon in the fleet hash ring;
+	// reported in /healthz — routing itself lives in the fleet router.
+	ShardID    int
+	ShardCount int
+	// PrimaryURL is the shard primary a replica pulls from (replicas only).
+	PrimaryURL string
+	// ReplPoll is the replica's idle poll interval (default 200ms).
+	ReplPoll time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -92,10 +105,20 @@ type Server struct {
 	start    time.Time
 	draining atomic.Bool
 
+	// repl is the journal puller (replica role only); replStop ends its
+	// loop, once.
+	repl         *fleet.Replicator
+	replStop     chan struct{}
+	replStopOnce sync.Once
+
 	// serveOnce guards against double Serve, shutdownOnce against double
-	// store teardown.
-	serveOnce    sync.Once
-	shutdownOnce sync.Once
+	// store teardown. shutdownDone closes when Shutdown returns; Serve
+	// waits on it (when draining) so the process cannot exit between a
+	// job finishing and its handler flushing the response to the client.
+	serveOnce        sync.Once
+	shutdownOnce     sync.Once
+	shutdownDone     chan struct{}
+	shutdownDoneOnce sync.Once
 }
 
 // New builds a server: opens (and replays) the durable store when
@@ -103,13 +126,22 @@ type Server struct {
 // traffic until Serve.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	switch cfg.Role {
+	case "", "primary", "replica":
+	default:
+		return nil, fmt.Errorf("service: unknown role %q (want primary, replica, or empty)", cfg.Role)
+	}
+	if cfg.Role == "replica" && (cfg.StorePath == "" || cfg.PrimaryURL == "") {
+		return nil, fmt.Errorf("service: replica role needs -store and -primary")
+	}
 	s := &Server{
-		cfg:      cfg,
-		db:       core.NewDB(),
-		pool:     newWorkPool(cfg.Workers, cfg.QueueDepth),
-		sessions: chopper.NewSessionPool(cfg.SessionOptions...),
-		reg:      metrics.NewRegistry(),
-		start:    time.Now(),
+		cfg:          cfg,
+		db:           core.NewDB(),
+		pool:         newWorkPool(cfg.Workers, cfg.QueueDepth),
+		sessions:     chopper.NewSessionPool(cfg.SessionOptions...),
+		reg:          metrics.NewRegistry(),
+		start:        time.Now(),
+		shutdownDone: make(chan struct{}),
 	}
 	if cfg.StorePath != "" {
 		store, db, err := core.OpenStore(cfg.StorePath)
@@ -119,11 +151,35 @@ func New(cfg Config) (*Server, error) {
 		if cfg.SyncAppends != nil {
 			store.SyncAppends = *cfg.SyncAppends
 		}
-		store.Attach(db)
+		// A replica's journal is the shipped copy of the primary's stream:
+		// the replicator appends raw bytes itself, so the store must NOT
+		// also observe DB mutations — that would journal every applied
+		// record twice and fork the byte-prefix invariant.
+		if cfg.Role != "replica" {
+			store.Attach(db)
+		}
 		s.store, s.db = store, db
+	}
+	if cfg.Role == "replica" {
+		repl, err := fleet.NewReplicator(fleet.ReplicatorConfig{
+			PrimaryURL: cfg.PrimaryURL,
+			Store:      s.store,
+			DB:         s.db,
+			Poll:       cfg.ReplPoll,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: build replicator: %w", err)
+		}
+		s.repl = repl
+		s.replStop = make(chan struct{})
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
+	// Any daemon with a durable store can feed replicas; a replica itself
+	// must not re-export the stream it is still converging on.
+	if s.store != nil && cfg.Role != "replica" {
+		fleet.RegisterRepl(s.mux, s.store)
+	}
 	s.registerGauges()
 	s.http = &http.Server{Handler: s.mux}
 	return s, nil
@@ -153,6 +209,12 @@ func (s *Server) registerGauges() {
 		if s.store != nil {
 			s.reg.Gauge("chopperd_journal_records", "observations not yet covered by a snapshot").Set(int64(s.store.JournalRecords()))
 		}
+		if s.repl != nil {
+			st := s.repl.Status()
+			s.reg.Gauge("chopperd_replication_lag_bytes", "journal bytes the replica is behind its primary").Set(st.LagBytes)
+			s.reg.Gauge("chopperd_replication_pos_bytes", "replica position in the primary journal stream").Set(st.Pos)
+			s.reg.Gauge("chopperd_replication_epoch", "journal stream epoch the replica is on").Set(st.Epoch)
+		}
 	})
 }
 
@@ -181,6 +243,14 @@ func (s *Server) Serve(ln net.Listener) error {
 		defer wg.Done()
 		s.pool.run()
 	}()
+	if s.repl != nil {
+		wg.Add(1)
+		//lint:ignore journalorder replication pull loop, not a request-ack path; journal appends here precede the replica's durable-position advance, and the goroutine is barriered by wg.Wait below
+		go func() {
+			defer wg.Done()
+			s.repl.Run(s.replStop)
+		}()
+	}
 	err := s.http.Serve(ln)
 	if errors.Is(err, http.ErrServerClosed) {
 		err = nil
@@ -189,7 +259,16 @@ func (s *Server) Serve(ln net.Listener) error {
 	// handlers returned; on the error path (Serve failed outright) close
 	// it here so the workers exit. Either way, wait for the drain.
 	s.pool.close()
+	s.stopRepl()
 	wg.Wait()
+	// The pool draining is not the whole drain: handlers that admitted
+	// those jobs may still be writing their responses, and only Shutdown's
+	// http.Shutdown waits for them. Block until it returns, so a caller
+	// exiting the process when Serve returns can never cut off an
+	// acknowledged in-flight response mid-write.
+	if s.draining.Load() {
+		<-s.shutdownDone
+	}
 	if ferr := s.finalizeStore(); ferr != nil && err == nil {
 		err = ferr
 	}
@@ -197,15 +276,20 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // finalizeStore writes the final snapshot and closes the journal (once).
+// A replica only closes: its journal is a byte-identical prefix of the
+// primary's stream, and a local snapshot would truncate it (and bump the
+// epoch), discarding the position the next start resumes pulling from.
 func (s *Server) finalizeStore() error {
 	var err error
 	s.shutdownOnce.Do(func() {
 		if s.store == nil {
 			return
 		}
-		if serr := s.store.Snapshot(s.db); serr != nil {
-			err = fmt.Errorf("service: final snapshot: %w", serr)
-			return
+		if s.repl == nil {
+			if serr := s.store.Snapshot(s.db); serr != nil {
+				err = fmt.Errorf("service: final snapshot: %w", serr)
+				return
+			}
 		}
 		if cerr := s.store.Close(); cerr != nil {
 			err = fmt.Errorf("service: close store: %w", cerr)
@@ -214,14 +298,24 @@ func (s *Server) finalizeStore() error {
 	return err
 }
 
+// stopRepl ends the replication pull loop (once; no-op off-replica).
+func (s *Server) stopRepl() {
+	if s.repl == nil {
+		return
+	}
+	s.replStopOnce.Do(func() { close(s.replStop) })
+}
+
 // Shutdown gracefully stops the daemon: admission is cut (new jobs get
 // 503), in-flight handlers — and the jobs they wait on — are given until
 // ctx expires, then the listener closes and Serve finishes the drain and
 // snapshot. Safe to call from a signal handler while Serve blocks.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	defer s.shutdownDoneOnce.Do(func() { close(s.shutdownDone) })
 	err := s.http.Shutdown(ctx)
 	s.pool.close()
+	s.stopRepl()
 	return err
 }
 
